@@ -1,0 +1,437 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (Section 6), plus ablations of Pattern-Fusion's design choices and
+// micro-benchmarks of the substrates. Custom metrics report the quantities
+// the paper plots (approximation error Δ, patterns recovered), so `go test
+// -bench=. -benchmem` reproduces the experiment outputs alongside timings;
+// cmd/pfexp renders the same experiments as tables.
+package patternfusion_test
+
+import (
+	"sync"
+	"testing"
+
+	patternfusion "repro"
+
+	"repro/internal/apriori"
+	"repro/internal/bitset"
+	"repro/internal/carpenter"
+	"repro/internal/charm"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/maximal"
+	"repro/internal/quality"
+	"repro/internal/rng"
+	"repro/internal/topk"
+)
+
+// Shared heavyweight fixtures, built once.
+var (
+	replaceOnce   sync.Once
+	replaceDB     *dataset.Dataset
+	replacePaths  []itemset.Itemset
+	replaceClosed []itemset.Itemset
+
+	microOnce sync.Once
+	microDB   *dataset.Dataset
+	microTop  []*dataset.Pattern
+)
+
+func replaceFixture(b *testing.B) (*dataset.Dataset, []itemset.Itemset, []itemset.Itemset) {
+	b.Helper()
+	replaceOnce.Do(func() {
+		replaceDB, replacePaths = datagen.Replace(1)
+		res := charm.Mine(replaceDB, replaceDB.MinCount(0.03))
+		replaceClosed = dataset.Itemsets(res.Patterns)
+	})
+	return replaceDB, replacePaths, replaceClosed
+}
+
+func microFixture(b *testing.B) (*dataset.Dataset, []*dataset.Pattern) {
+	b.Helper()
+	microOnce.Do(func() {
+		microDB, _ = datagen.Microarray(1)
+		microTop = carpenter.Mine(microDB, 30, 70).Patterns
+	})
+	return microDB, microTop
+}
+
+// ---------------------------------------------------------------------------
+// Section 1 motivating example.
+
+func BenchmarkIntroDiagPlusFusion(b *testing.B) {
+	d := datagen.DiagPlus(40, 20, 39)
+	colossal := itemset.Canonical(datagen.DiagColossal(40, 39))
+	found := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(20, 0)
+		cfg.MinCount = 20
+		cfg.InitPoolMaxSize = 2
+		cfg.Seed = uint64(i + 1)
+		res, err := core.Mine(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range res.Patterns {
+			if p.Items.Equal(colossal) {
+				found++
+				break
+			}
+		}
+	}
+	b.ReportMetric(float64(found)/float64(b.N), "colossal-hit-rate")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 6: run time on Diag_n. The exact miner's exponential blow-up is
+// benchmarked at sizes it can still finish; Pattern-Fusion at the sizes the
+// paper sweeps.
+
+func BenchmarkFig6MaximalDiag(b *testing.B) {
+	for _, n := range []int{10, 12, 14, 16} {
+		b.Run(byN(n), func(b *testing.B) {
+			d := datagen.Diag(n)
+			for i := 0; i < b.N; i++ {
+				res := maximal.Mine(d, n/2)
+				if res.Stopped {
+					b.Fatal("unexpected stop")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig6FusionDiag(b *testing.B) {
+	for _, n := range []int{10, 20, 30, 40} {
+		b.Run(byN(n), func(b *testing.B) {
+			d := datagen.Diag(n)
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(40, 0)
+				cfg.MinCount = n / 2
+				cfg.InitPoolMaxSize = 2
+				cfg.Seed = uint64(i + 1)
+				if _, err := core.Mine(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Figure 7: approximation error on Diag40 vs uniform sampling.
+
+func BenchmarkFig7ApproxErrorDiag40(b *testing.B) {
+	d := datagen.Diag(40)
+	r := rng.New(7)
+	q := make([]itemset.Itemset, 300)
+	for i := range q {
+		q[i] = itemset.Canonical(r.SampleInts(40, 20))
+	}
+	var fusionDelta, uniformDelta float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(100, 0)
+		cfg.MinCount = 20
+		cfg.InitPoolMaxSize = 2
+		cfg.Seed = uint64(i + 1)
+		res, err := core.Mine(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fusionDelta = quality.Delta(dataset.Itemsets(res.Patterns), q)
+		uniform := make([]itemset.Itemset, 100)
+		for j := range uniform {
+			uniform[j] = itemset.Canonical(r.SampleInts(40, 20))
+		}
+		uniformDelta = quality.Delta(uniform, q)
+	}
+	b.ReportMetric(fusionDelta, "Δ-fusion")
+	b.ReportMetric(uniformDelta, "Δ-uniform")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 8: approximation error on Replace.
+
+func BenchmarkFig8ApproxErrorReplace(b *testing.B) {
+	d, paths, closed := replaceFixture(b)
+	q42 := quality.FilterBySize(closed, 42)
+	b.ResetTimer()
+	var delta float64
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(100, 0.03)
+		cfg.Seed = uint64(i + 1)
+		res, err := core.Mine(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := dataset.Itemsets(res.Patterns)
+		delta = quality.Delta(p, q42)
+		found := 0
+		for _, path := range paths {
+			for _, got := range p {
+				if got.Equal(path) {
+					found++
+					break
+				}
+			}
+		}
+		if found == len(paths) {
+			hits++
+		}
+	}
+	b.ReportMetric(delta, "Δ-size≥42")
+	b.ReportMetric(float64(hits)/float64(b.N), "all-colossal-rate")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: mining result comparison on the microarray dataset.
+
+func BenchmarkFig9MicroarrayComparison(b *testing.B) {
+	d, top := microFixture(b)
+	b.ResetTimer()
+	var recovered, total float64
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(100, 0)
+		cfg.MinCount = 30
+		cfg.InitPoolMaxSize = 2
+		cfg.Seed = uint64(i + 1)
+		res, err := core.Mine(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := make(map[string]bool, len(res.Patterns))
+		for _, p := range res.Patterns {
+			found[p.Items.Key()] = true
+		}
+		recovered, total = 0, 0
+		for _, p := range top {
+			total++
+			if found[p.Items.Key()] {
+				recovered++
+			}
+		}
+	}
+	b.ReportMetric(recovered, "colossal-recovered")
+	b.ReportMetric(total, "colossal-complete")
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: run time on the microarray dataset with decreasing support.
+// Pattern-Fusion must level off (compare the sub-benchmark timings); the
+// exact miners' blow-up is visible in BenchmarkFig10MaximalALL.
+
+func BenchmarkFig10FusionALL(b *testing.B) {
+	d, _ := microFixture(b)
+	for _, mc := range []int{31, 28, 25, 21} {
+		b.Run(byMinCount(mc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(100, 0)
+				cfg.MinCount = mc
+				cfg.InitPoolMaxSize = 2
+				cfg.Seed = uint64(i + 1)
+				if _, err := core.Mine(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig10MaximalALL(b *testing.B) {
+	d, _ := microFixture(b)
+	// Only the supports the exact miner still finishes at laptop scale.
+	for _, mc := range []int{31, 30, 29} {
+		b.Run(byMinCount(mc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				maximal.Mine(d, mc)
+			}
+		})
+	}
+}
+
+func BenchmarkFig10TopKALL(b *testing.B) {
+	d, _ := microFixture(b)
+	for _, mc := range []int{31, 28, 25} {
+		b.Run(byMinCount(mc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				topk.MineOpts(d, topk.Options{K: 5000, MinLength: 5, FloorMin: mc})
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §4): the design choices behind Pattern-Fusion,
+// measured on the Replace workload with recall of the three colossal
+// patterns as the quality metric.
+
+func ablationRun(b *testing.B, mutate func(*core.Config)) {
+	d, paths, _ := replaceFixture(b)
+	b.ResetTimer()
+	found := 0
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultConfig(100, 0.03)
+		cfg.Seed = uint64(i + 1)
+		mutate(&cfg)
+		res, err := core.Mine(d, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		hits := 0
+		for _, path := range paths {
+			for _, p := range res.Patterns {
+				if p.Items.Equal(path) {
+					hits++
+					break
+				}
+			}
+		}
+		found += hits
+	}
+	b.ReportMetric(float64(found)/float64(3*b.N), "colossal-recall")
+}
+
+func BenchmarkAblationTau(b *testing.B) {
+	for _, tau := range []float64{0.5, 0.7, 0.9} {
+		b.Run(byTau(tau), func(b *testing.B) {
+			ablationRun(b, func(c *core.Config) { c.Tau = tau })
+		})
+	}
+}
+
+func BenchmarkAblationInitPoolSize(b *testing.B) {
+	for _, s := range []int{1, 2, 3} {
+		b.Run(byN(s), func(b *testing.B) {
+			ablationRun(b, func(c *core.Config) { c.InitPoolMaxSize = s })
+		})
+	}
+}
+
+func BenchmarkAblationFusionDraws(b *testing.B) {
+	for _, draws := range []int{2, 10, 20} {
+		b.Run(byN(draws), func(b *testing.B) {
+			ablationRun(b, func(c *core.Config) { c.FusionDraws = draws })
+		})
+	}
+}
+
+func BenchmarkAblationBallSize(b *testing.B) {
+	for _, size := range []int{256, 2048, 8192} {
+		b.Run(byN(size), func(b *testing.B) {
+			ablationRun(b, func(c *core.Config) { c.MaxBallSize = size })
+		})
+	}
+}
+
+func BenchmarkAblationElitism(b *testing.B) {
+	for _, e := range []int{0, 26} {
+		b.Run(byN(e), func(b *testing.B) {
+			ablationRun(b, func(c *core.Config) { c.Elitism = e })
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Substrate micro-benchmarks.
+
+func BenchmarkBitsetAndCount(b *testing.B) {
+	r := rng.New(1)
+	x, y := bitset.New(4096), bitset.New(4096)
+	for i := 0; i < 2000; i++ {
+		x.Set(r.Intn(4096))
+		y.Set(r.Intn(4096))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.AndCount(y) < 0 {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+func BenchmarkTIDSetReplace(b *testing.B) {
+	d, paths, _ := replaceFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.TIDSet(paths[i%len(paths)])
+	}
+}
+
+func BenchmarkAprioriInitPoolReplace(b *testing.B) {
+	d, _, _ := replaceFixture(b)
+	minCount := d.MinCount(0.03)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		apriori.MineUpTo(d, minCount, 2)
+	}
+}
+
+func BenchmarkClosedMinerReplace(b *testing.B) {
+	d, _, _ := replaceFixture(b)
+	minCount := d.MinCount(0.03)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		charm.Mine(d, minCount)
+	}
+}
+
+func BenchmarkCarpenterMicroarray(b *testing.B) {
+	d, _ := microFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		carpenter.Mine(d, 30, 70)
+	}
+}
+
+func BenchmarkQualityDelta(b *testing.B) {
+	_, _, closed := replaceFixture(b)
+	p := quality.FilterBySize(closed, 42)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		quality.Delta(p, closed)
+	}
+}
+
+func BenchmarkPublicAPIQuickMine(b *testing.B) {
+	db := patternfusion.DiagPlus(20, 10, 15)
+	for i := 0; i < b.N; i++ {
+		cfg := patternfusion.DefaultConfig(10, 0)
+		cfg.MinCount = 10
+		cfg.Seed = uint64(i + 1)
+		if _, err := patternfusion.Mine(db, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+
+func byN(n int) string        { return "n=" + itoa(n) }
+func byMinCount(n int) string { return "minsup=" + itoa(n) }
+func byTau(t float64) string {
+	switch t {
+	case 0.5:
+		return "tau=0.5"
+	case 0.7:
+		return "tau=0.7"
+	case 0.9:
+		return "tau=0.9"
+	}
+	return "tau"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,79 @@
+// Command pfgen generates the datasets used in the paper's evaluation and
+// writes them in FIMI format (one transaction per line, space-separated
+// item IDs) so they can be fed to pfmine or to any other FIMI-compatible
+// miner.
+//
+// Usage:
+//
+//	pfgen -dataset diag -n 40 -out diag40.dat
+//	pfgen -dataset diagplus -n 40 -rows 20 -width 39 -out intro.dat
+//	pfgen -dataset replace -seed 1 -out replace.dat
+//	pfgen -dataset microarray -seed 1 -out all.dat
+//	pfgen -dataset random -txns 1000 -items 50 -density 0.1 -out rnd.dat
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		kind    = flag.String("dataset", "diag", "diag, diagplus, replace, microarray, or random")
+		n       = flag.Int("n", 40, "diag/diagplus: matrix size n")
+		rows    = flag.Int("rows", 20, "diagplus: extra identical rows")
+		width   = flag.Int("width", 39, "diagplus: colossal pattern width")
+		txns    = flag.Int("txns", 1000, "random: number of transactions")
+		items   = flag.Int("items", 50, "random: item universe size")
+		density = flag.Float64("density", 0.1, "random: per-item inclusion probability")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output file (default: stdout)")
+	)
+	flag.Parse()
+
+	var d *dataset.Dataset
+	switch *kind {
+	case "diag":
+		d = datagen.Diag(*n)
+	case "diagplus":
+		d = datagen.DiagPlus(*n, *rows, *width)
+	case "replace":
+		var paths []fmt.Stringer
+		d, paths = replaceGen(*seed)
+		fmt.Fprintf(os.Stderr, "planted colossal paths: %v\n", paths)
+	case "microarray":
+		d, _ = datagen.Microarray(*seed)
+	case "random":
+		d = datagen.Random(rng.New(*seed), *txns, *items, *density)
+	default:
+		fmt.Fprintf(os.Stderr, "pfgen: unknown dataset %q\n", *kind)
+		os.Exit(2)
+	}
+
+	fmt.Fprintf(os.Stderr, "%s\n", d.ComputeStats())
+	if *out == "" {
+		if err := d.Write(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pfgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := d.Save(*out); err != nil {
+		fmt.Fprintf(os.Stderr, "pfgen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func replaceGen(seed uint64) (*dataset.Dataset, []fmt.Stringer) {
+	d, paths := datagen.Replace(seed)
+	out := make([]fmt.Stringer, len(paths))
+	for i, p := range paths {
+		out[i] = p
+	}
+	return d, out
+}

@@ -1,0 +1,135 @@
+// Command pfmine mines a FIMI-format transaction database with any of the
+// algorithms in this repository: Pattern-Fusion (the paper's contribution)
+// or the exact baselines it is evaluated against.
+//
+// Usage:
+//
+//	pfmine -algo fusion  -minsup 0.03 -k 100 -tau 0.5 data.dat
+//	pfmine -algo closed  -mincount 132 data.dat
+//	pfmine -algo maximal -minsup 0.5 -budget 10s data.dat
+//	pfmine -algo topk    -k 20 -minlen 5 data.dat
+//	pfmine -algo apriori -minsup 0.1 -maxsize 3 data.dat
+//
+// Output: one pattern per line, "item item … # support=N size=M", largest
+// patterns first. Use -top to truncate the listing.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/apriori"
+	"repro/internal/carpenter"
+	"repro/internal/charm"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/eclat"
+	"repro/internal/maximal"
+	"repro/internal/topk"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "fusion", "fusion, apriori, eclat, closed, closedrows, maximal, or topk")
+		minsup   = flag.Float64("minsup", 0, "relative minimum support σ ∈ [0,1]")
+		mincount = flag.Int("mincount", 0, "absolute minimum support count (overrides -minsup)")
+		k        = flag.Int("k", 100, "fusion: max patterns to mine; topk: k")
+		tau      = flag.Float64("tau", 0.5, "fusion: core ratio τ")
+		initSize = flag.Int("init", 3, "fusion: initial pool max pattern size")
+		minlen   = flag.Int("minlen", 1, "topk: minimum pattern length; closedrows: minimum size")
+		maxsize  = flag.Int("maxsize", 0, "apriori/eclat: max pattern size (0 = unbounded)")
+		seed     = flag.Uint64("seed", 1, "fusion: random seed")
+		budget   = flag.Duration("budget", 0, "optional time budget (0 = none)")
+		top      = flag.Int("top", 0, "print only the first N patterns (0 = all)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: pfmine [flags] <dataset.dat>")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	d, err := dataset.Load(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded: %s\n", d.ComputeStats())
+
+	mc := *mincount
+	if mc == 0 {
+		mc = d.MinCount(*minsup)
+	}
+	cancel := func() bool { return false }
+	if *budget > 0 {
+		deadline := time.Now().Add(*budget)
+		cancel = func() bool { return time.Now().After(deadline) }
+	}
+
+	t0 := time.Now()
+	var patterns []*dataset.Pattern
+	stopped := false
+	switch *algo {
+	case "fusion":
+		cfg := core.DefaultConfig(*k, 0)
+		cfg.MinCount = mc
+		cfg.Tau = *tau
+		cfg.InitPoolMaxSize = *initSize
+		cfg.Seed = *seed
+		cfg.Canceled = cancel
+		res, err := core.Mine(d, cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(os.Stderr, "initial pool: %d patterns; %d fusion iterations\n",
+			res.InitPoolSize, res.Iterations)
+		patterns, stopped = res.Patterns, res.Stopped
+	case "apriori":
+		res := apriori.MineOpts(d, apriori.Options{MinCount: mc, MaxSize: *maxsize, Canceled: cancel})
+		patterns, stopped = res.Patterns, res.Stopped
+	case "eclat":
+		res := eclat.MineOpts(d, eclat.Options{MinCount: mc, MaxSize: *maxsize, Canceled: cancel})
+		patterns, stopped = res.Patterns, res.Stopped
+	case "closed":
+		res := charm.MineOpts(d, charm.Options{MinCount: mc, Canceled: cancel})
+		patterns, stopped = res.Patterns, res.Stopped
+	case "closedrows":
+		res := carpenter.MineOpts(d, carpenter.Options{MinCount: mc, MinSize: *minlen, Canceled: cancel})
+		patterns, stopped = res.Patterns, res.Stopped
+	case "maximal":
+		res := maximal.MineOpts(d, maximal.Options{MinCount: mc, Canceled: cancel})
+		patterns, stopped = res.Patterns, res.Stopped
+	case "topk":
+		res := topk.MineOpts(d, topk.Options{K: *k, MinLength: *minlen, FloorMin: mc, Canceled: cancel})
+		patterns, stopped = res.Patterns, res.Stopped
+	default:
+		fmt.Fprintf(os.Stderr, "pfmine: unknown algorithm %q\n", *algo)
+		os.Exit(2)
+	}
+	elapsed := time.Since(t0)
+
+	dataset.SortPatterns(patterns)
+	shown := patterns
+	if *top > 0 && len(shown) > *top {
+		shown = shown[:*top]
+	}
+	for _, p := range shown {
+		items := make([]string, len(p.Items))
+		for i, it := range p.Items {
+			items[i] = fmt.Sprint(it)
+		}
+		fmt.Printf("%s # support=%d size=%d\n", strings.Join(items, " "), p.Support(), len(p.Items))
+	}
+	note := ""
+	if stopped {
+		note = " (stopped at budget; results partial)"
+	}
+	fmt.Fprintf(os.Stderr, "%d patterns in %v%s\n", len(patterns), elapsed.Round(time.Millisecond), note)
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pfmine: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// Package patternfusion is a from-scratch Go implementation of
+// Pattern-Fusion, the colossal frequent itemset mining algorithm of
+//
+//	Feida Zhu, Xifeng Yan, Jiawei Han, Philip S. Yu, Hong Cheng.
+//	"Mining Colossal Frequent Patterns by Core Pattern Fusion."
+//	ICDE 2007, pp. 706–715.
+//
+// Frequent-pattern miners that enumerate complete answer sets (Apriori,
+// FP-growth, closed/maximal miners) get trapped when the number of
+// mid-sized patterns explodes, even if only a handful of truly large —
+// colossal — patterns exist. Pattern-Fusion instead starts from a pool of
+// small frequent patterns and fuses each random seed with its "ball" of
+// core patterns (subpatterns with nearly the same support set), leaping
+// down the pattern lattice toward the colossal patterns in a few
+// iterations. The result is an approximation of the colossal pattern set
+// whose quality is measured by the pattern-set approximation error Δ of
+// the paper's evaluation model.
+//
+// # Quick start
+//
+//	db, err := patternfusion.Load("transactions.dat") // FIMI format
+//	if err != nil { ... }
+//	cfg := patternfusion.DefaultConfig(20, 0.05) // K=20 patterns, σ=5%
+//	res, err := patternfusion.Mine(db, cfg)
+//	if err != nil { ... }
+//	for _, p := range res.Patterns {
+//		fmt.Printf("%v support=%d\n", p.Items, p.Support())
+//	}
+//
+// # What else is in the box
+//
+// Because the paper's evaluation needs complete miners as baselines and
+// ground truth, the library also ships exact miners behind the same
+// Dataset type: MineFrequent (Apriori), MineFrequentFP (FP-growth),
+// MineFrequentEclat (Eclat), MineClosed (item enumeration), MineClosedRows
+// (CARPENTER-style row enumeration for long microarray-shaped data),
+// MineMaximal (LCM_maximal stand-in) and MineTopK (TFP stand-in) — plus
+// the quality evaluation model (Evaluate, Delta) and the paper's dataset
+// generators (Diag, DiagPlus, ReplaceSim, MicroarraySim).
+//
+// Every experiment of the paper (Figures 6–10 and the motivating example)
+// can be regenerated with cmd/pfexp or the benchmarks in bench_test.go;
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
+package patternfusion

@@ -1,0 +1,130 @@
+package patternfusion_test
+
+// End-to-end integration tests across module boundaries: generate → persist
+// → reload → mine with multiple algorithms → evaluate quality. These
+// exercise the same paths the examples and CLI tools use.
+
+import (
+	"path/filepath"
+	"testing"
+
+	patternfusion "repro"
+
+	"repro/internal/quality"
+)
+
+func TestPipelineGenerateSaveLoadMineEvaluate(t *testing.T) {
+	// Generate the motivating-example dataset and persist it.
+	db := patternfusion.DiagPlus(16, 8, 12)
+	path := filepath.Join(t.TempDir(), "diagplus.dat")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reload and confirm identity.
+	loaded, err := patternfusion.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Size() != db.Size() || loaded.NumItems() != db.NumItems() {
+		t.Fatalf("round trip changed shape: %v vs %v", loaded.ComputeStats(), db.ComputeStats())
+	}
+
+	// The exact closed set is the ground truth at this scale.
+	minCount := 8
+	closed := patternfusion.MineClosed(loaded, minCount)
+	if len(closed) == 0 {
+		t.Fatal("no closed patterns")
+	}
+
+	// Pattern-Fusion approximates it.
+	cfg := patternfusion.DefaultConfig(10, 0)
+	cfg.MinCount = minCount
+	res, err := patternfusion.Mine(loaded, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) == 0 {
+		t.Fatal("Pattern-Fusion returned nothing")
+	}
+
+	// The colossal 12-item pattern must be the largest on both sides.
+	if got := closedMaxSize(closed); got != 12 {
+		t.Fatalf("largest closed pattern size = %d, want 12", got)
+	}
+	if got := res.Patterns[0].Size(); got != 12 {
+		t.Fatalf("largest fused pattern size = %d, want 12", got)
+	}
+
+	// And the quality model must score the approximation sanely.
+	delta := patternfusion.Delta(patternfusion.Itemsets(res.Patterns), patternfusion.Itemsets(closed))
+	if delta < 0 || delta > 1.5 {
+		t.Fatalf("Δ = %v out of plausible range", delta)
+	}
+}
+
+func closedMaxSize(ps []*patternfusion.Pattern) int {
+	max := 0
+	for _, p := range ps {
+		if p.Size() > max {
+			max = p.Size()
+		}
+	}
+	return max
+}
+
+func TestAllMinersAgreeOnColossal(t *testing.T) {
+	// Every miner that can finish the small motivating example must agree
+	// on the colossal pattern.
+	db := patternfusion.DiagPlus(12, 6, 10)
+	colossal := patternfusion.Canonical([]int{12, 13, 14, 15, 16, 17, 18, 19, 20, 21})
+	const minCount = 6
+
+	contains := func(ps []*patternfusion.Pattern) bool {
+		for _, p := range ps {
+			if p.Items.Equal(colossal) {
+				return true
+			}
+		}
+		return false
+	}
+	if !contains(patternfusion.MineClosed(db, minCount)) {
+		t.Error("closed miner missed the colossal pattern")
+	}
+	if !contains(patternfusion.MineClosedRows(db, minCount, 0)) {
+		t.Error("row-enumeration miner missed the colossal pattern")
+	}
+	if !contains(patternfusion.MineMaximal(db, minCount)) {
+		t.Error("maximal miner missed the colossal pattern")
+	}
+	if !contains(patternfusion.MineTopK(db, 3, 10)) {
+		t.Error("top-k miner missed the colossal pattern")
+	}
+	cfg := patternfusion.DefaultConfig(10, 0)
+	cfg.MinCount = minCount
+	res, err := patternfusion.Mine(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !contains(res.Patterns) {
+		t.Error("Pattern-Fusion missed the colossal pattern")
+	}
+}
+
+func TestQualityModelOrdersMinersSanely(t *testing.T) {
+	// The complete closed set approximates itself perfectly; a truncated
+	// result approximates it strictly worse once real patterns are dropped.
+	db := patternfusion.RandomDB(11, 40, 10, 0.4)
+	closed := patternfusion.Itemsets(patternfusion.MineClosed(db, 4))
+	if len(closed) < 8 {
+		t.Skip("random database too sparse for this seed")
+	}
+	full := quality.Delta(closed, closed)
+	if full != 0 {
+		t.Fatalf("Δ(Q,Q) = %v", full)
+	}
+	half := quality.Delta(closed[:len(closed)/2], closed)
+	if half <= 0 {
+		t.Fatalf("Δ of truncated result = %v, want > 0", half)
+	}
+}

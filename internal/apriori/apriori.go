@@ -1,0 +1,144 @@
+// Package apriori implements the level-wise frequent itemset miner of
+// Agrawal & Srikant (VLDB'94), one of the baseline "incremental
+// pattern-growth" strategies the paper contrasts Pattern-Fusion with.
+//
+// Besides serving as a baseline and a cross-check oracle, Apriori plays a
+// structural role in the reproduction: phase 1 of Pattern-Fusion assumes
+// "an initial pool of small frequent patterns, which is the complete set of
+// frequent patterns up to a small size, e.g., 3" (Section 2.3) — that pool
+// is mined here with MineUpTo.
+//
+// Support counting uses the dataset's vertical representation: the tidset of
+// a (k)-candidate is the intersection of a (k−1)-parent's tidset with one
+// item tidset, so each level costs one bitset AND per candidate.
+package apriori
+
+import (
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// Options configures a mining run.
+type Options struct {
+	MinCount int         // absolute minimum support count (≥ 1)
+	MaxSize  int         // stop after this level; 0 means unbounded
+	Canceled func() bool // optional cooperative cancellation, polled per level
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Patterns []*dataset.Pattern // all frequent patterns found, level by level
+	Levels   []int              // Levels[k] = number of frequent patterns of size k+1
+	Stopped  bool               // true if the run was canceled before completion
+}
+
+// Mine returns the complete set of frequent patterns of d with support
+// count at least minCount.
+func Mine(d *dataset.Dataset, minCount int) *Result {
+	return MineOpts(d, Options{MinCount: minCount})
+}
+
+// MineUpTo returns the complete set of frequent patterns of size at most
+// maxSize — the Pattern-Fusion initial pool.
+func MineUpTo(d *dataset.Dataset, minCount, maxSize int) *Result {
+	return MineOpts(d, Options{MinCount: minCount, MaxSize: maxSize})
+}
+
+// MineOpts runs Apriori under the given options.
+func MineOpts(d *dataset.Dataset, opts Options) *Result {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	res := &Result{}
+
+	// L1: frequent single items.
+	var level []*dataset.Pattern
+	for _, item := range d.FrequentItems(opts.MinCount) {
+		level = append(level, &dataset.Pattern{
+			Items: itemset.Itemset{item},
+			TIDs:  d.ItemTIDs(item).Clone(),
+		})
+	}
+	k := 1
+	for len(level) > 0 {
+		res.Patterns = append(res.Patterns, level...)
+		res.Levels = append(res.Levels, len(level))
+		if opts.MaxSize > 0 && k >= opts.MaxSize {
+			break
+		}
+		if opts.Canceled != nil && opts.Canceled() {
+			res.Stopped = true
+			break
+		}
+		level = nextLevel(d, level, opts.MinCount)
+		k++
+	}
+	return res
+}
+
+// nextLevel generates and counts the (k+1)-candidates from the frequent
+// k-level using the classic join + prune steps. The level is kept in
+// lexicographic order, which the prefix join relies on.
+func nextLevel(d *dataset.Dataset, level []*dataset.Pattern, minCount int) []*dataset.Pattern {
+	// Membership index for the subset-pruning step.
+	freq := make(map[string]bool, len(level))
+	for _, p := range level {
+		freq[p.Items.Key()] = true
+	}
+
+	var next []*dataset.Pattern
+	for i := 0; i < len(level); i++ {
+		a := level[i]
+		k := len(a.Items)
+		for j := i + 1; j < len(level); j++ {
+			b := level[j]
+			// Join step: a and b must share the first k−1 items; because the
+			// level is lexicographically sorted, once prefixes diverge no
+			// later j can match.
+			if !samePrefix(a.Items, b.Items) {
+				break
+			}
+			cand := a.Items.Add(b.Items[k-1])
+			// Prune step: every k-subset of cand must be frequent. The two
+			// subsets obtained by removing the last two items are a and b
+			// themselves, so check only the others.
+			if !allSubsetsFrequent(cand, freq) {
+				continue
+			}
+			tids := a.TIDs.And(d.ItemTIDs(b.Items[k-1]))
+			if tids.Count() >= minCount {
+				next = append(next, &dataset.Pattern{Items: cand, TIDs: tids})
+			}
+		}
+	}
+	return next
+}
+
+func samePrefix(a, b itemset.Itemset) bool {
+	k := len(a)
+	for i := 0; i < k-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func allSubsetsFrequent(cand itemset.Itemset, freq map[string]bool) bool {
+	n := len(cand)
+	buf := make(itemset.Itemset, 0, n-1)
+	// Skip the two subsets missing the last or second-to-last item: they are
+	// the join parents and known frequent.
+	for drop := 0; drop < n-2; drop++ {
+		buf = buf[:0]
+		for i, v := range cand {
+			if i != drop {
+				buf = append(buf, v)
+			}
+		}
+		if !freq[buf.Key()] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,313 @@
+// Package bitset implements dense fixed-capacity bitsets.
+//
+// Bitsets are the workhorse of the vertical miners and of Pattern-Fusion
+// itself: the support set D_α of a pattern α (Definition 1 of the paper) is
+// represented as a bitset over transaction IDs, so that support counting,
+// the pattern distance Dist(α,β) = 1 − |Dα∩Dβ|/|Dα∪Dβ| (Definition 6) and
+// support-set intersection during fusion are all word-parallel operations.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Bitset is a fixed-capacity set of integers in [0, N). The zero value is
+// an empty set of capacity 0; use New to create one with capacity.
+type Bitset struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns an empty bitset with capacity for integers in [0, n).
+func New(n int) *Bitset {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Bitset{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// FromIndices returns a bitset of capacity n with the given indices set.
+func FromIndices(n int, indices []int) *Bitset {
+	b := New(n)
+	for _, i := range indices {
+		b.Set(i)
+	}
+	return b
+}
+
+// Cap returns the capacity (the exclusive upper bound on members).
+func (b *Bitset) Cap() int { return b.n }
+
+// Set adds i to the set. It panics if i is out of range.
+func (b *Bitset) Set(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: Set(%d) out of range [0,%d)", i, b.n))
+	}
+	b.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear removes i from the set. It panics if i is out of range.
+func (b *Bitset) Clear(i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: Clear(%d) out of range [0,%d)", i, b.n))
+	}
+	b.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Test reports whether i is a member. It panics if i is out of range.
+func (b *Bitset) Test(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitset: Test(%d) out of range [0,%d)", i, b.n))
+	}
+	return b.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Count returns the number of members (the cardinality |D|).
+func (b *Bitset) Count() int {
+	c := 0
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no members.
+func (b *Bitset) Empty() bool {
+	for _, w := range b.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of b.
+func (b *Bitset) Clone() *Bitset {
+	c := &Bitset{words: make([]uint64, len(b.words)), n: b.n}
+	copy(c.words, b.words)
+	return c
+}
+
+// CopyFrom overwrites b with the contents of src. The capacities must match.
+func (b *Bitset) CopyFrom(src *Bitset) {
+	b.mustMatch(src)
+	copy(b.words, src.words)
+}
+
+// SetAll sets every bit in [0, n).
+func (b *Bitset) SetAll() {
+	for i := range b.words {
+		b.words[i] = ^uint64(0)
+	}
+	b.trim()
+}
+
+// Reset clears every bit.
+func (b *Bitset) Reset() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// trim zeroes the unused high bits of the last word so Count stays exact.
+func (b *Bitset) trim() {
+	if r := uint(b.n) % wordBits; r != 0 && len(b.words) > 0 {
+		b.words[len(b.words)-1] &= (1 << r) - 1
+	}
+}
+
+func (b *Bitset) mustMatch(o *Bitset) {
+	if b.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", b.n, o.n))
+	}
+}
+
+// InPlaceAnd sets b = b ∩ o.
+func (b *Bitset) InPlaceAnd(o *Bitset) {
+	b.mustMatch(o)
+	for i := range b.words {
+		b.words[i] &= o.words[i]
+	}
+}
+
+// InPlaceOr sets b = b ∪ o.
+func (b *Bitset) InPlaceOr(o *Bitset) {
+	b.mustMatch(o)
+	for i := range b.words {
+		b.words[i] |= o.words[i]
+	}
+}
+
+// InPlaceAndNot sets b = b \ o.
+func (b *Bitset) InPlaceAndNot(o *Bitset) {
+	b.mustMatch(o)
+	for i := range b.words {
+		b.words[i] &^= o.words[i]
+	}
+}
+
+// And returns a new bitset b ∩ o.
+func (b *Bitset) And(o *Bitset) *Bitset {
+	c := b.Clone()
+	c.InPlaceAnd(o)
+	return c
+}
+
+// Or returns a new bitset b ∪ o.
+func (b *Bitset) Or(o *Bitset) *Bitset {
+	c := b.Clone()
+	c.InPlaceOr(o)
+	return c
+}
+
+// AndNot returns a new bitset b \ o.
+func (b *Bitset) AndNot(o *Bitset) *Bitset {
+	c := b.Clone()
+	c.InPlaceAndNot(o)
+	return c
+}
+
+// AndCount returns |b ∩ o| without allocating.
+func (b *Bitset) AndCount(o *Bitset) int {
+	b.mustMatch(o)
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w & o.words[i])
+	}
+	return c
+}
+
+// OrCount returns |b ∪ o| without allocating.
+func (b *Bitset) OrCount(o *Bitset) int {
+	b.mustMatch(o)
+	c := 0
+	for i, w := range b.words {
+		c += bits.OnesCount64(w | o.words[i])
+	}
+	return c
+}
+
+// AndNotAny reports whether b \ o is non-empty, i.e. whether b ⊄ o.
+func (b *Bitset) AndNotAny(o *Bitset) bool {
+	b.mustMatch(o)
+	for i, w := range b.words {
+		if w&^o.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports whether b ⊆ o.
+func (b *Bitset) SubsetOf(o *Bitset) bool {
+	return !b.AndNotAny(o)
+}
+
+// Equal reports whether b and o have identical members and capacity.
+func (b *Bitset) Equal(o *Bitset) bool {
+	if b.n != o.n {
+		return false
+	}
+	for i, w := range b.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Jaccard returns the Jaccard similarity |b∩o| / |b∪o|.
+// By convention Jaccard of two empty sets is 1.
+func (b *Bitset) Jaccard(o *Bitset) float64 {
+	b.mustMatch(o)
+	inter, union := 0, 0
+	for i, w := range b.words {
+		inter += bits.OnesCount64(w & o.words[i])
+		union += bits.OnesCount64(w | o.words[i])
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// Distance returns the pattern distance of Definition 6 applied to two
+// support sets: Dist = 1 − |b∩o| / |b∪o|. Two empty sets have distance 0.
+func (b *Bitset) Distance(o *Bitset) float64 {
+	return 1 - b.Jaccard(o)
+}
+
+// Indices returns the members in increasing order.
+func (b *Bitset) Indices() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// ForEach calls fn for every member in increasing order.
+func (b *Bitset) ForEach(fn func(i int)) {
+	for wi, w := range b.words {
+		base := wi * wordBits
+		for w != 0 {
+			t := bits.TrailingZeros64(w)
+			fn(base + t)
+			w &= w - 1
+		}
+	}
+}
+
+// NextSet returns the smallest member >= i, or -1 if none exists.
+func (b *Bitset) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= b.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := b.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(b.words); wi++ {
+		if b.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(b.words[wi])
+		}
+	}
+	return -1
+}
+
+// Key returns a compact string usable as a map key identifying the set's
+// contents (capacity not included).
+func (b *Bitset) Key() string {
+	var sb strings.Builder
+	sb.Grow(len(b.words) * 8)
+	for _, w := range b.words {
+		var buf [8]byte
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(w >> (8 * i))
+		}
+		sb.Write(buf[:])
+	}
+	return sb.String()
+}
+
+// String renders the set as "{i1, i2, ...}".
+func (b *Bitset) String() string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	first := true
+	b.ForEach(func(i int) {
+		if !first {
+			sb.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&sb, "%d", i)
+	})
+	sb.WriteByte('}')
+	return sb.String()
+}

@@ -1,0 +1,259 @@
+package bitset
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetTestClear(t *testing.T) {
+	b := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if b.Test(i) {
+			t.Fatalf("bit %d set in fresh bitset", i)
+		}
+		b.Set(i)
+		if !b.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := b.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	b.Clear(64)
+	if b.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	if got := b.Count(); got != 7 {
+		t.Fatalf("Count = %d, want 7", got)
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	cases := []func(){
+		func() { New(10).Set(10) },
+		func() { New(10).Set(-1) },
+		func() { New(10).Test(10) },
+		func() { New(10).Clear(10) },
+		func() { New(-1) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestZeroCapacity(t *testing.T) {
+	b := New(0)
+	if !b.Empty() || b.Count() != 0 {
+		t.Fatal("zero-capacity bitset not empty")
+	}
+	b.SetAll()
+	if b.Count() != 0 {
+		t.Fatal("SetAll on zero-capacity set bits")
+	}
+}
+
+func TestSetAllRespectsCapacity(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		b := New(n)
+		b.SetAll()
+		if got := b.Count(); got != n {
+			t.Fatalf("SetAll(%d): Count = %d", n, got)
+		}
+	}
+}
+
+func TestBooleanAlgebra(t *testing.T) {
+	a := FromIndices(100, []int{1, 5, 64, 99})
+	b := FromIndices(100, []int{5, 64, 70})
+
+	and := a.And(b)
+	if got := and.Indices(); len(got) != 2 || got[0] != 5 || got[1] != 64 {
+		t.Fatalf("And = %v", got)
+	}
+	or := a.Or(b)
+	if got := or.Count(); got != 5 {
+		t.Fatalf("|Or| = %d, want 5", got)
+	}
+	diff := a.AndNot(b)
+	if got := diff.Indices(); len(got) != 2 || got[0] != 1 || got[1] != 99 {
+		t.Fatalf("AndNot = %v", got)
+	}
+	if a.AndCount(b) != 2 || a.OrCount(b) != 5 {
+		t.Fatalf("AndCount/OrCount mismatch: %d, %d", a.AndCount(b), a.OrCount(b))
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("And with mismatched capacity did not panic")
+		}
+	}()
+	New(10).And(New(11))
+}
+
+func TestSubsetEqual(t *testing.T) {
+	a := FromIndices(70, []int{1, 2, 65})
+	b := FromIndices(70, []int{1, 2, 3, 65})
+	if !a.SubsetOf(b) {
+		t.Fatal("a should be subset of b")
+	}
+	if b.SubsetOf(a) {
+		t.Fatal("b should not be subset of a")
+	}
+	if !a.SubsetOf(a.Clone()) {
+		t.Fatal("a should be subset of itself")
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone not equal")
+	}
+	if a.Equal(b) {
+		t.Fatal("distinct sets equal")
+	}
+	if a.Equal(FromIndices(71, []int{1, 2, 65})) {
+		t.Fatal("different capacities compare equal")
+	}
+}
+
+func TestJaccardAndDistance(t *testing.T) {
+	a := FromIndices(10, []int{0, 1, 2})
+	b := FromIndices(10, []int{1, 2, 3})
+	if got := a.Jaccard(b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Jaccard = %v, want 0.5", got)
+	}
+	if got := a.Distance(b); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Distance = %v, want 0.5", got)
+	}
+	if got := a.Distance(a); got != 0 {
+		t.Fatalf("self distance = %v", got)
+	}
+	e1, e2 := New(10), New(10)
+	if e1.Jaccard(e2) != 1 || e1.Distance(e2) != 0 {
+		t.Fatal("empty-set Jaccard/Distance convention violated")
+	}
+}
+
+func TestForEachAndNextSet(t *testing.T) {
+	idx := []int{3, 64, 65, 127}
+	b := FromIndices(128, idx)
+	var got []int
+	b.ForEach(func(i int) { got = append(got, i) })
+	if len(got) != len(idx) {
+		t.Fatalf("ForEach visited %v", got)
+	}
+	for i := range idx {
+		if got[i] != idx[i] {
+			t.Fatalf("ForEach order: %v", got)
+		}
+	}
+	if b.NextSet(0) != 3 || b.NextSet(4) != 64 || b.NextSet(66) != 127 || b.NextSet(128) != -1 {
+		t.Fatal("NextSet wrong")
+	}
+	if b.NextSet(-5) != 3 {
+		t.Fatal("NextSet with negative start wrong")
+	}
+	if b.NextSet(127) != 127 {
+		t.Fatal("NextSet at a set bit should return it")
+	}
+}
+
+func TestKeyDistinguishesContents(t *testing.T) {
+	a := FromIndices(100, []int{1, 2})
+	b := FromIndices(100, []int{1, 3})
+	if a.Key() == b.Key() {
+		t.Fatal("different sets share a key")
+	}
+	if a.Key() != a.Clone().Key() {
+		t.Fatal("clone has different key")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := FromIndices(10, []int{1, 4}).String(); s != "{1, 4}" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := New(10).String(); s != "{}" {
+		t.Fatalf("empty String = %q", s)
+	}
+}
+
+// randomSet builds a bitset of capacity n from a seed mask (property tests).
+func fromMask(n int, mask uint64) *Bitset {
+	b := New(n)
+	for i := 0; i < n && i < 64; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			b.Set(i)
+		}
+	}
+	return b
+}
+
+func TestAlgebraLawsQuick(t *testing.T) {
+	const n = 60
+	// De Morgan-ish and counting laws on random sets.
+	err := quick.Check(func(ma, mb uint64) bool {
+		a, b := fromMask(n, ma), fromMask(n, mb)
+		// |a∪b| + |a∩b| == |a| + |b|
+		if a.OrCount(b)+a.AndCount(b) != a.Count()+b.Count() {
+			return false
+		}
+		// a\b ∪ a∩b == a
+		if !a.AndNot(b).Or(a.And(b)).Equal(a) {
+			return false
+		}
+		// subset relation consistency
+		if a.And(b).SubsetOf(a) != true || a.SubsetOf(a.Or(b)) != true {
+			return false
+		}
+		// commutativity
+		if !a.And(b).Equal(b.And(a)) || !a.Or(b).Equal(b.Or(a)) {
+			return false
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistanceTriangleInequalityQuick(t *testing.T) {
+	const n = 48
+	err := quick.Check(func(ma, mb, mc uint64) bool {
+		a, b, c := fromMask(n, ma), fromMask(n, mb), fromMask(n, mc)
+		dab, dbc, dac := a.Distance(b), b.Distance(c), a.Distance(c)
+		return dac <= dab+dbc+1e-12
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatalf("Jaccard distance violated triangle inequality (Theorem 1): %v", err)
+	}
+}
+
+func TestInPlaceOpsMatchAllocating(t *testing.T) {
+	err := quick.Check(func(ma, mb uint64) bool {
+		a, b := fromMask(64, ma), fromMask(64, mb)
+		x := a.Clone()
+		x.InPlaceAnd(b)
+		if !x.Equal(a.And(b)) {
+			return false
+		}
+		y := a.Clone()
+		y.InPlaceOr(b)
+		if !y.Equal(a.Or(b)) {
+			return false
+		}
+		z := a.Clone()
+		z.InPlaceAndNot(b)
+		return z.Equal(a.AndNot(b))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,520 @@
+// Package core implements Pattern-Fusion, the paper's contribution: an
+// approximation algorithm for mining colossal frequent itemsets that fuses
+// small core patterns into colossal ones in large leaps, instead of growing
+// patterns one item at a time like Apriori or FP-growth.
+//
+// The concepts implemented here, with their paper references:
+//
+//   - core pattern and core ratio τ (Definition 3): β ⊆ α is a τ-core
+//     pattern of α iff |Dα|/|Dβ| ≥ τ;
+//   - (d,τ)-robustness (Definition 4) — see Robustness;
+//   - pattern distance Dist(α,β) = 1 − |Dα∩Dβ|/|Dα∪Dβ| (Definition 6),
+//     a metric (Theorem 1);
+//   - the ball radius r(τ) = 1 − 1/(2/τ−1) bounding all core patterns of a
+//     common pattern (Theorem 2) — see Radius;
+//   - the two-phase mining model (Section 2.3): an initial pool of all
+//     frequent patterns up to a small size, then iterative fusion of the
+//     balls around K random seeds until at most K patterns remain
+//     (Algorithms 1 and 2).
+//
+// Because the reverse of Theorem 2 does not hold, patterns caught by a ball
+// need not share a common super-pattern; Fusion therefore re-verifies the
+// core property during agglomeration and emits one super-pattern per
+// randomized agglomeration pass, weighted-sampling the survivors when a
+// seed generates too many (Section 4, "Fusion").
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/apriori"
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/rng"
+)
+
+// Config parameterizes a Pattern-Fusion run. The zero value is not valid;
+// use DefaultConfig as a starting point.
+type Config struct {
+	// K is the maximum number of patterns to mine (the paper's K): the
+	// iteration stops once the pool holds at most K patterns.
+	K int
+	// Tau is the core ratio τ ∈ (0, 1] of Definition 3.
+	Tau float64
+	// MinCount is the absolute minimum support count. If zero, MinSupport
+	// is used instead.
+	MinCount int
+	// MinSupport is the relative minimum support threshold σ ∈ [0, 1],
+	// used only when MinCount is zero.
+	MinSupport float64
+	// InitPoolMaxSize bounds the size of patterns in the initial pool
+	// (phase 1 mines the complete set of frequent patterns up to this
+	// size; the paper uses 2 or 3).
+	InitPoolMaxSize int
+	// FusionDraws is the number of randomized agglomeration passes per
+	// seed; each pass can contribute one super-pattern.
+	FusionDraws int
+	// MaxSupersPerSeed caps the distinct super-patterns a single seed may
+	// contribute; beyond it, survivors are weighted-sampled by the number
+	// of core patterns they fused (the paper's sampling heuristic).
+	MaxSupersPerSeed int
+	// MaxBallSize bounds the CoreList considered per seed: when a seed's
+	// ball holds more patterns, a random sample of this size is fused
+	// instead. This implements the paper's "bounded-breadth" traversal
+	// (Section 1: only a fixed number of patterns in the current candidate
+	// pool is used) and keeps the per-iteration cost independent of the
+	// pool size, which is what makes the Figure 10 curve level off.
+	// Zero means unbounded.
+	MaxBallSize int
+	// MaxIterations is a safety bound on fusion iterations.
+	MaxIterations int
+	// CloseFused, when true, replaces each fused super-pattern with its
+	// closure (the intersection of the transactions in its support set).
+	// The closure has the identical support set — it is the canonical
+	// representative the closed-set ground truths of Figures 8 and 9 are
+	// stated in — so this is a free quality win; DefaultConfig enables it.
+	CloseFused bool
+	// Elitism carries the largest Elitism patterns of the current pool into
+	// the next pool unconditionally. Algorithm 2 keeps only the K seeds'
+	// fusion outputs, so a colossal pattern already discovered would
+	// otherwise survive an iteration only if re-drawn as a seed (the paper
+	// invokes this "survive with probability at most K/|S|" argument to
+	// starve small patterns — elitism shields the large ones from the same
+	// effect). Zero disables it.
+	Elitism int
+	// Seed seeds the deterministic RNG.
+	Seed uint64
+	// Canceled, if non-nil, is polled for cooperative cancellation.
+	Canceled func() bool
+	// OnIteration, if non-nil, observes the pool after each fusion
+	// iteration (used by the experiments and the Lemma 5 tests). The pool
+	// slice must not be modified.
+	OnIteration func(iteration int, pool []*dataset.Pattern)
+}
+
+// DefaultConfig returns the configuration used throughout the experiments:
+// τ = 0.5 (the paper's running example value), initial pool of patterns up
+// to size 3, five agglomeration passes per seed.
+func DefaultConfig(k int, minSupport float64) Config {
+	return Config{
+		K:                k,
+		Tau:              0.5,
+		MinSupport:       minSupport,
+		InitPoolMaxSize:  3,
+		FusionDraws:      10,
+		MaxSupersPerSeed: 8,
+		MaxBallSize:      2048,
+		MaxIterations:    64,
+		CloseFused:       true,
+		Elitism:          k/4 + 1,
+		Seed:             1,
+	}
+}
+
+func (c *Config) validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("core: K must be >= 1, got %d", c.K)
+	}
+	if c.Tau <= 0 || c.Tau > 1 {
+		return fmt.Errorf("core: Tau must be in (0,1], got %v", c.Tau)
+	}
+	if c.MinCount < 0 {
+		return fmt.Errorf("core: MinCount must be >= 0, got %d", c.MinCount)
+	}
+	if c.MinCount == 0 && (c.MinSupport < 0 || c.MinSupport > 1) {
+		return fmt.Errorf("core: MinSupport must be in [0,1], got %v", c.MinSupport)
+	}
+	if c.InitPoolMaxSize < 1 {
+		c.InitPoolMaxSize = 3
+	}
+	if c.FusionDraws < 1 {
+		c.FusionDraws = 5
+	}
+	if c.MaxSupersPerSeed < 1 {
+		c.MaxSupersPerSeed = 5
+	}
+	if c.MaxIterations < 1 {
+		c.MaxIterations = 64
+	}
+	return nil
+}
+
+// Result is the outcome of a Pattern-Fusion run.
+type Result struct {
+	// Patterns is the final pool: the approximation to the colossal
+	// patterns, at most K patterns, sorted by decreasing size.
+	Patterns []*dataset.Pattern
+	// InitPoolSize is the size of the phase-1 initial pool.
+	InitPoolSize int
+	// Iterations is the number of fusion iterations performed.
+	Iterations int
+	// Stopped is true if the run was canceled before convergence.
+	Stopped bool
+}
+
+// Radius returns r(τ) = 1 − 1/(2/τ − 1), the ball radius of Theorem 2: all
+// τ-core patterns of a common pattern lie within pairwise pattern distance
+// r(τ). It panics unless τ ∈ (0, 1].
+func Radius(tau float64) float64 {
+	if tau <= 0 || tau > 1 {
+		panic(fmt.Sprintf("core: Radius requires tau in (0,1], got %v", tau))
+	}
+	return 1 - 1/(2/tau-1)
+}
+
+// Mine runs the full two-phase Pattern-Fusion algorithm on d: it mines the
+// initial pool (the complete set of frequent patterns of size at most
+// cfg.InitPoolMaxSize) and then iterates fusion until at most K patterns
+// remain.
+func Mine(d *dataset.Dataset, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	minCount := cfg.MinCount
+	if minCount == 0 {
+		minCount = d.MinCount(cfg.MinSupport)
+	}
+	pool := apriori.MineOpts(d, apriori.Options{
+		MinCount: minCount,
+		MaxSize:  cfg.InitPoolMaxSize,
+		Canceled: cfg.Canceled,
+	}).Patterns
+	return MineFromPool(d, pool, cfg)
+}
+
+// MineFromPool runs phase 2 (iterative fusion) from a caller-supplied
+// initial pool; the pool patterns must carry support sets computed against
+// d. The pool slice is not modified.
+func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	minCount := cfg.MinCount
+	if minCount == 0 {
+		minCount = d.MinCount(cfg.MinSupport)
+	}
+	r := rng.New(cfg.Seed)
+	res := &Result{InitPoolSize: len(pool)}
+
+	cur := append([]*dataset.Pattern(nil), pool...)
+	radius := Radius(cfg.Tau)
+	prevKey := poolKey(cur)
+	// Algorithm 1 is a do-while: Pattern_Fusion runs at least once even when
+	// the initial pool already holds at most K patterns (otherwise a pool of
+	// singletons smaller than K would be returned unfused).
+	for len(cur) > 0 && (res.Iterations == 0 || len(cur) > cfg.K) && res.Iterations < cfg.MaxIterations {
+		if cfg.Canceled != nil && cfg.Canceled() {
+			res.Stopped = true
+			break
+		}
+		next := fusionStep(d, cur, cfg, minCount, radius, r)
+		res.Iterations++
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(res.Iterations, next)
+		}
+		key := poolKey(next)
+		if key == prevKey {
+			// Fixed point: no fusion is possible anymore (every seed's ball
+			// fuses to itself). Keep the K largest and stop.
+			cur = next
+			break
+		}
+		prevKey = key
+		cur = next
+	}
+	if len(cur) > cfg.K {
+		sortBySizeDesc(cur)
+		cur = cur[:cfg.K]
+	}
+	sortBySizeDesc(cur)
+	res.Patterns = cur
+	return res, nil
+}
+
+// fusionStep is one iteration of Algorithm 2 (Pattern_Fusion): draw K seed
+// patterns, find each seed's ball of radius r(τ), fuse each ball into
+// super-patterns, and return the union of all super-patterns as the next
+// pool.
+func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCount int, radius float64, r *rng.RNG) []*dataset.Pattern {
+	seedIdx := r.SampleInts(len(pool), cfg.K)
+	var next []*dataset.Pattern
+	for _, si := range seedIdx {
+		seed := pool[si]
+		// The ball: all pool patterns within distance r(τ) of the seed
+		// (the seed's CoreList in the paper's terms).
+		var ball []*dataset.Pattern
+		for _, p := range pool {
+			if p != seed && seed.Distance(p) <= radius {
+				ball = append(ball, p)
+			}
+		}
+		if cfg.MaxBallSize > 0 && len(ball) > cfg.MaxBallSize {
+			sampled := make([]*dataset.Pattern, 0, cfg.MaxBallSize)
+			for _, i := range r.SampleInts(len(ball), cfg.MaxBallSize) {
+				sampled = append(sampled, ball[i])
+			}
+			ball = sampled
+		}
+		next = append(next, fuse(d, seed, ball, cfg, minCount, r)...)
+	}
+	if cfg.Elitism > 0 {
+		// Shield the largest patterns found so far from seed-lottery death.
+		elite := append([]*dataset.Pattern(nil), pool...)
+		sortBySizeDesc(elite)
+		if len(elite) > cfg.Elitism {
+			elite = elite[:cfg.Elitism]
+		}
+		next = append(next, elite...)
+	}
+	return dataset.DedupPatterns(next)
+}
+
+// fuse generates super-patterns from a seed and its ball (Section 4,
+// function Fusion). Each randomized pass agglomerates ball members into the
+// seed as long as the grown pattern stays frequent and every fused member —
+// including the seed and all previously fused ones — remains a τ-core
+// pattern of it; one super-pattern is emitted per pass. If more than
+// cfg.MaxSupersPerSeed distinct super-patterns result, survivors are
+// sampled with probability proportional to the number of core patterns
+// they fused (patterns of larger core-sets are kept with higher
+// probability, steering the search toward colossal patterns).
+func fuse(d *dataset.Dataset, seed *dataset.Pattern, ball []*dataset.Pattern, cfg Config, minCount int, r *rng.RNG) []*dataset.Pattern {
+	if len(ball) == 0 {
+		return []*dataset.Pattern{seed}
+	}
+	type super struct {
+		p     *dataset.Pattern
+		fused int // |t_βi|: how many ball members were fused in
+	}
+	supers := make(map[string]super)
+
+	// The seed's own closure is always a candidate: it is the closed
+	// pattern with the seed's exact support set, which is how mid-level
+	// colossal patterns (whose supersets are still frequent, so saturating
+	// merges would always run past them) get generated.
+	if cfg.CloseFused && !seed.TIDs.Empty() {
+		c := closureOf(d, seed.TIDs)
+		supers[c.Key()] = super{p: &dataset.Pattern{Items: c, TIDs: seed.TIDs.Clone()}, fused: 0}
+	}
+
+	order := make([]int, len(ball))
+	for i := range order {
+		order[i] = i
+	}
+	maxExp := 1
+	for 1<<uint(maxExp) < len(ball) {
+		maxExp++
+	}
+	for draw := 0; draw < cfg.FusionDraws; draw++ {
+		r.ShuffleInts(order)
+		// Each pass fuses a random-size subset t_β ⊆ CoreList (Section 4).
+		// The merge budget is drawn on a geometric scale (1, 2, 4, …, |ball|)
+		// so that shallow passes — which surface mid-sized super-patterns —
+		// occur with non-vanishing probability even for huge balls, while
+		// deep passes still reach the largest unions.
+		budget := 1 << uint(r.Intn(maxExp+1))
+		items := seed.Items
+		tids := seed.TIDs.Clone()
+		sup := tids.Count()
+		maxMemberSup := sup
+		fused := 0
+		for _, bi := range order {
+			if fused >= budget {
+				break
+			}
+			b := ball[bi]
+			if b.Items.SubsetOf(items) {
+				continue // no growth; D would not change for the union's sake
+			}
+			nsup := tids.AndCount(b.TIDs)
+			if nsup < minCount {
+				continue
+			}
+			bSup := b.Support()
+			limit := maxMemberSup
+			if bSup > limit {
+				limit = bSup
+			}
+			// Core-pattern check (Definition 3): every member m fused so far
+			// must satisfy |D_fused| ≥ τ·|D_m|; the member with the largest
+			// support is the binding constraint.
+			if float64(nsup) < cfg.Tau*float64(limit) {
+				continue
+			}
+			items = items.Union(b.Items)
+			tids.InPlaceAnd(b.TIDs)
+			sup = nsup
+			if bSup > maxMemberSup {
+				maxMemberSup = bSup
+			}
+			fused++
+		}
+		if cfg.CloseFused && !tids.Empty() {
+			// Canonicalize to the closed pattern with the same support set.
+			items = closureOf(d, tids)
+		}
+		key := items.Key()
+		if prev, ok := supers[key]; !ok || fused > prev.fused {
+			supers[key] = super{p: &dataset.Pattern{Items: items, TIDs: tids}, fused: fused}
+		}
+	}
+	out := make([]super, 0, len(supers))
+	for _, s := range supers {
+		out = append(out, s)
+	}
+	// Deterministic order before any sampling.
+	sort.Slice(out, func(i, j int) bool {
+		return itemset.Compare(out[i].p.Items, out[j].p.Items) < 0
+	})
+	if len(out) > cfg.MaxSupersPerSeed {
+		weights := make([]float64, len(out))
+		for i, s := range out {
+			weights[i] = float64(s.fused + 1)
+		}
+		keep := r.WeightedSample(weights, cfg.MaxSupersPerSeed)
+		sort.Ints(keep)
+		sampled := make([]super, 0, len(keep))
+		for _, i := range keep {
+			sampled = append(sampled, out[i])
+		}
+		out = sampled
+	}
+	ps := make([]*dataset.Pattern, len(out))
+	for i, s := range out {
+		ps[i] = s.p
+	}
+	return ps
+}
+
+func sortBySizeDesc(ps []*dataset.Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		if len(ps[i].Items) != len(ps[j].Items) {
+			return len(ps[i].Items) > len(ps[j].Items)
+		}
+		si, sj := ps[i].Support(), ps[j].Support()
+		if si != sj {
+			return si > sj
+		}
+		return itemset.CompareLex(ps[i].Items, ps[j].Items) < 0
+	})
+}
+
+// poolKey fingerprints a pool's itemset contents, independent of order.
+func poolKey(ps []*dataset.Pattern) string {
+	keys := make([]string, len(ps))
+	for i, p := range ps {
+		keys[i] = p.Items.Key()
+	}
+	sort.Strings(keys)
+	var sb []byte
+	for _, k := range keys {
+		sb = append(sb, k...)
+		sb = append(sb, ';')
+	}
+	return string(sb)
+}
+
+// IsCore reports whether beta is a τ-core pattern of alpha in d
+// (Definition 3): β ⊆ α and |Dα|/|Dβ| ≥ τ. Patterns with empty support
+// sets are never core patterns.
+func IsCore(d *dataset.Dataset, beta, alpha itemset.Itemset, tau float64) bool {
+	if !beta.SubsetOf(alpha) {
+		return false
+	}
+	sa := d.SupportCount(alpha)
+	sb := d.SupportCount(beta)
+	if sb == 0 || sa == 0 {
+		return false
+	}
+	return float64(sa)/float64(sb) >= tau
+}
+
+// CorePatterns enumerates all non-empty τ-core patterns of alpha in d
+// (the set C_α of Definition 3). It panics if |alpha| > 24 to avoid
+// runaway subset enumeration; it is an analysis utility, not part of the
+// mining path.
+func CorePatterns(d *dataset.Dataset, alpha itemset.Itemset, tau float64) []itemset.Itemset {
+	if len(alpha) > 24 {
+		panic("core: CorePatterns on itemset larger than 24")
+	}
+	sa := d.SupportCount(alpha)
+	var out []itemset.Itemset
+	if sa == 0 {
+		return out
+	}
+	itemset.Subsets(alpha, func(sub itemset.Itemset) {
+		if len(sub) == 0 {
+			return
+		}
+		sb := d.SupportCount(sub)
+		if sb > 0 && float64(sa)/float64(sb) >= tau {
+			out = append(out, sub.Clone())
+		}
+	})
+	itemset.SortSet(out)
+	return out
+}
+
+// Robustness returns the d of Definition 4: the maximum number of items
+// that can be removed from alpha such that the result is still a τ-core
+// pattern of alpha. It panics if |alpha| > 24.
+func Robustness(d *dataset.Dataset, alpha itemset.Itemset, tau float64) int {
+	best := 0
+	for _, c := range CorePatterns(d, alpha, tau) {
+		if r := len(alpha) - len(c); r > best {
+			best = r
+		}
+	}
+	return best
+}
+
+// ComplementarySets counts the sets of complementary core patterns of
+// alpha (Definition 7): subsets S ⊆ C_α \ {α} with ∪S = α. Exponential in
+// |C_α|; analysis utility for small examples only (it panics if
+// |C_α| > 20).
+func ComplementarySets(d *dataset.Dataset, alpha itemset.Itemset, tau float64) int {
+	cores := CorePatterns(d, alpha, tau)
+	var proper []itemset.Itemset
+	for _, c := range cores {
+		if !c.Equal(alpha) {
+			proper = append(proper, c)
+		}
+	}
+	if len(proper) > 20 {
+		panic("core: ComplementarySets with more than 20 proper core patterns")
+	}
+	count := 0
+	for mask := 1; mask < 1<<uint(len(proper)); mask++ {
+		var u itemset.Itemset
+		for i := 0; i < len(proper); i++ {
+			if mask&(1<<uint(i)) != 0 {
+				u = u.Union(proper[i])
+			}
+		}
+		if u.Equal(alpha) {
+			count++
+		}
+	}
+	return count
+}
+
+// Distance is the pattern distance of Definition 6 computed directly from
+// two support sets.
+func Distance(a, b *bitset.Bitset) float64 { return a.Distance(b) }
+
+// closureOf computes the intersection of the transactions in tids.
+// (Duplicated from the closed miners to keep this package's dependencies to
+// the substrate layers only.)
+func closureOf(d *dataset.Dataset, tids *bitset.Bitset) itemset.Itemset {
+	first := tids.NextSet(0)
+	if first < 0 {
+		return nil
+	}
+	closed := d.Transaction(first).Clone()
+	for tid := tids.NextSet(first + 1); tid >= 0 && len(closed) > 0; tid = tids.NextSet(tid + 1) {
+		closed = closed.Intersect(d.Transaction(tid))
+	}
+	return closed
+}

@@ -1,0 +1,220 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/itemset"
+	"repro/internal/rng"
+)
+
+func TestDiagStructure(t *testing.T) {
+	for _, n := range []int{2, 5, 40} {
+		d := Diag(n)
+		if d.Size() != n {
+			t.Fatalf("Diag(%d) has %d rows", n, d.Size())
+		}
+		if d.NumItems() != n {
+			t.Fatalf("Diag(%d) universe = %d", n, d.NumItems())
+		}
+		for i := 0; i < n; i++ {
+			row := d.Transaction(i)
+			if len(row) != n-1 {
+				t.Fatalf("Diag(%d) row %d has %d items", n, i, len(row))
+			}
+			if row.Contains(i) {
+				t.Fatalf("Diag(%d) row %d contains its own index", n, i)
+			}
+		}
+	}
+}
+
+// TestDiagSupportLaw pins the property the experiments rely on: in Diag_n,
+// |D_α| = n − |α| for every non-empty itemset α.
+func TestDiagSupportLaw(t *testing.T) {
+	n := 12
+	d := Diag(n)
+	r := rng.New(99)
+	for trial := 0; trial < 50; trial++ {
+		var alpha itemset.Itemset
+		for i := 0; i < n; i++ {
+			if r.Float64() < 0.3 {
+				alpha = append(alpha, i)
+			}
+		}
+		if len(alpha) == 0 {
+			continue
+		}
+		if got := d.SupportCount(alpha); got != n-len(alpha) {
+			t.Fatalf("|D_α| = %d for |α| = %d, want %d", got, len(alpha), n-len(alpha))
+		}
+	}
+}
+
+func TestDiagPanicsOnTiny(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Diag(1) did not panic")
+		}
+	}()
+	Diag(1)
+}
+
+func TestDiagPlusStructure(t *testing.T) {
+	d := DiagPlus(40, 20, 39)
+	if d.Size() != 60 {
+		t.Fatalf("DiagPlus(40,20,39) has %d rows, want 60", d.Size())
+	}
+	colossal := itemset.Canonical(DiagColossal(40, 39))
+	if len(colossal) != 39 {
+		t.Fatalf("colossal size %d, want 39", len(colossal))
+	}
+	if got := d.SupportCount(colossal); got != 20 {
+		t.Fatalf("colossal support %d, want 20", got)
+	}
+	// Diagonal part unchanged: any k-subset of the first 40 items has
+	// support 40 − k.
+	if got := d.SupportCount(itemset.Itemset{0, 1, 2}); got != 37 {
+		t.Fatalf("diag 3-subset support %d, want 37", got)
+	}
+	// No transaction mixes the two halves.
+	if got := d.SupportCount(itemset.Itemset{0, 40}); got != 0 {
+		t.Fatalf("mixed pair support %d, want 0", got)
+	}
+}
+
+func TestRandomDensity(t *testing.T) {
+	r := rng.New(5)
+	d := Random(r, 200, 50, 0.3)
+	if d.Size() != 200 {
+		t.Fatalf("rows = %d", d.Size())
+	}
+	stats := d.ComputeStats()
+	if stats.AvgTxnLen < 11 || stats.AvgTxnLen > 19 {
+		t.Fatalf("avg txn len %v, want ≈ 15", stats.AvgTxnLen)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := Random(rng.New(7), 20, 10, 0.4)
+	b := Random(rng.New(7), 20, 10, 0.4)
+	for i := 0; i < 20; i++ {
+		if !a.Transaction(i).Equal(b.Transaction(i)) {
+			t.Fatal("Random not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestRandomWithPlanted(t *testing.T) {
+	r := rng.New(9)
+	planted := [][]int{{40, 41, 42, 43, 44}}
+	d := RandomWithPlanted(r, 300, 40, 0.1, planted, 0.5)
+	sup := d.SupportCount(itemset.Canonical(planted[0]))
+	if sup < 100 || sup > 200 {
+		t.Fatalf("planted support %d, want ≈ 150", sup)
+	}
+}
+
+func TestReplaceStructure(t *testing.T) {
+	d, paths := Replace(1)
+	stats := d.ComputeStats()
+	if stats.Transactions != 4395 {
+		t.Fatalf("Replace has %d transactions, want 4395", stats.Transactions)
+	}
+	if stats.UniverseSize != 57 {
+		t.Fatalf("Replace universe = %d, want 57", stats.UniverseSize)
+	}
+	if len(paths) != 3 {
+		t.Fatalf("Replace planted %d colossal paths, want 3", len(paths))
+	}
+	minCount := d.MinCount(0.03)
+	for i, p := range paths {
+		if len(p) != ReplaceColossalSize {
+			t.Fatalf("path %d has size %d, want %d", i, len(p), ReplaceColossalSize)
+		}
+		if sup := d.SupportCount(p); sup < minCount {
+			t.Fatalf("path %d support %d below σ=0.03 count %d", i, sup, minCount)
+		}
+	}
+	// The three paths differ pairwise.
+	for i := 0; i < 3; i++ {
+		for j := i + 1; j < 3; j++ {
+			if paths[i].Equal(paths[j]) {
+				t.Fatalf("paths %d and %d identical", i, j)
+			}
+		}
+	}
+}
+
+func TestReplaceDeterministicPerSeed(t *testing.T) {
+	a, _ := Replace(3)
+	b, _ := Replace(3)
+	for i := 0; i < a.Size(); i += 500 {
+		if !a.Transaction(i).Equal(b.Transaction(i)) {
+			t.Fatal("Replace not deterministic for fixed seed")
+		}
+	}
+}
+
+func TestMicroarrayStructure(t *testing.T) {
+	d, blocks := Microarray(1)
+	stats := d.ComputeStats()
+	if stats.Transactions != 38 {
+		t.Fatalf("Microarray has %d rows, want 38", stats.Transactions)
+	}
+	if stats.MinTxnLen != 866 || stats.MaxTxnLen != 866 {
+		t.Fatalf("row lengths [%d, %d], want exactly 866", stats.MinTxnLen, stats.MaxTxnLen)
+	}
+	if stats.UniverseSize != 1736 {
+		t.Fatalf("universe = %d, want 1736", stats.UniverseSize)
+	}
+	if len(blocks) == 0 {
+		t.Fatal("no blocks planted")
+	}
+	// Every planted block must be present in exactly its designated rows —
+	// no trimming of block items is allowed.
+	for bi, b := range blocks {
+		tids := d.TIDSet(b.Items)
+		if got := tids.Count(); got < len(b.Rows) {
+			t.Fatalf("block %d (size %d) support %d < planted %d rows",
+				bi, len(b.Items), got, len(b.Rows))
+		}
+		for _, row := range b.Rows {
+			if !tids.Test(row) {
+				t.Fatalf("block %d missing from its planted row %d", bi, row)
+			}
+		}
+	}
+}
+
+func TestMicroarrayChainGuaranteesColossal(t *testing.T) {
+	cfg := DefaultMicroarrayConfig()
+	d, blocks := Microarray(1)
+	// The union of the first len(ChainSizes) (nested) blocks is a pattern
+	// with support ≥ the deepest chain row count — the guaranteed colossal
+	// pattern.
+	var union itemset.Itemset
+	for i := range cfg.ChainSizes {
+		union = union.Union(blocks[i].Items)
+	}
+	wantSize := 0
+	for _, s := range cfg.ChainSizes {
+		wantSize += s
+	}
+	if len(union) != wantSize {
+		t.Fatalf("chain union size %d, want %d (blocks should be item-disjoint)", len(union), wantSize)
+	}
+	deepest := cfg.ChainRows[len(cfg.ChainRows)-1]
+	if sup := d.SupportCount(union); sup < deepest {
+		t.Fatalf("chain union support %d < %d", sup, deepest)
+	}
+}
+
+func TestMicroarrayDeterministicPerSeed(t *testing.T) {
+	a, _ := Microarray(4)
+	b, _ := Microarray(4)
+	for i := 0; i < 38; i++ {
+		if !a.Transaction(i).Equal(b.Transaction(i)) {
+			t.Fatal("Microarray not deterministic for fixed seed")
+		}
+	}
+}

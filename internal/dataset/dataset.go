@@ -1,0 +1,301 @@
+// Package dataset implements the transaction database abstraction of the
+// paper (Section 2.1): a collection D = {t1, …, tn} of itemsets over an item
+// universe I, with both a horizontal representation (the transactions
+// themselves) and a vertical representation (a TID bitset per item) that the
+// vertical miners and Pattern-Fusion operate on.
+//
+// The central derived object is the Pattern: an itemset α together with its
+// support set Dα (the set of transactions containing α) kept as a bitset, so
+// that s(α), Dist(α,β) (Definition 6) and support-set intersections during
+// fusion are all cheap.
+package dataset
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/itemset"
+)
+
+// Dataset is an immutable transaction database. Build one with New or Load;
+// do not mutate the returned structures.
+type Dataset struct {
+	transactions []itemset.Itemset // horizontal form, canonical itemsets
+	tidsets      []*bitset.Bitset  // vertical form: tidsets[item] = D_{item}
+	numItems     int               // item universe size (max item ID + 1)
+}
+
+// New builds a Dataset from raw transactions. Each transaction is
+// canonicalized (sorted, deduplicated). Item IDs must be non-negative.
+// Empty transactions are kept: they count toward |D| but support no item.
+func New(transactions [][]int) (*Dataset, error) {
+	d := &Dataset{transactions: make([]itemset.Itemset, len(transactions))}
+	maxItem := -1
+	for i, t := range transactions {
+		for _, it := range t {
+			if it < 0 {
+				return nil, fmt.Errorf("dataset: transaction %d has negative item %d", i, it)
+			}
+			if it > maxItem {
+				maxItem = it
+			}
+		}
+		d.transactions[i] = itemset.Canonical(t)
+	}
+	d.numItems = maxItem + 1
+	d.buildVertical()
+	return d, nil
+}
+
+// MustNew is New but panics on error; for tests and generators whose input
+// is valid by construction.
+func MustNew(transactions [][]int) *Dataset {
+	d, err := New(transactions)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func (d *Dataset) buildVertical() {
+	n := len(d.transactions)
+	d.tidsets = make([]*bitset.Bitset, d.numItems)
+	for item := range d.tidsets {
+		d.tidsets[item] = bitset.New(n)
+	}
+	for tid, t := range d.transactions {
+		for _, item := range t {
+			d.tidsets[item].Set(tid)
+		}
+	}
+}
+
+// Size returns the number of transactions |D|.
+func (d *Dataset) Size() int { return len(d.transactions) }
+
+// NumItems returns the size of the item universe (max item ID + 1).
+func (d *Dataset) NumItems() int { return d.numItems }
+
+// Transaction returns the canonical itemset of transaction tid.
+func (d *Dataset) Transaction(tid int) itemset.Itemset { return d.transactions[tid] }
+
+// Transactions returns the underlying transaction slice (do not modify).
+func (d *Dataset) Transactions() []itemset.Itemset { return d.transactions }
+
+// ItemTIDs returns the tidset of a single item (do not modify). Items that
+// never occur have an empty tidset; out-of-universe items return nil.
+func (d *Dataset) ItemTIDs(item int) *bitset.Bitset {
+	if item < 0 || item >= d.numItems {
+		return nil
+	}
+	return d.tidsets[item]
+}
+
+// TIDSet computes D_α: the set of transactions containing every item of α,
+// by intersecting the per-item tidsets (Lemma 1: D_α = ∩_{o∈α} D_o).
+// The empty itemset is contained in every transaction.
+func (d *Dataset) TIDSet(alpha itemset.Itemset) *bitset.Bitset {
+	out := bitset.New(len(d.transactions))
+	if len(alpha) == 0 {
+		out.SetAll()
+		return out
+	}
+	first := alpha[0]
+	if first >= d.numItems {
+		return out // item never occurs: empty support
+	}
+	out.CopyFrom(d.tidsets[first])
+	for _, item := range alpha[1:] {
+		if item >= d.numItems {
+			out.Reset()
+			return out
+		}
+		out.InPlaceAnd(d.tidsets[item])
+		if out.Empty() {
+			return out
+		}
+	}
+	return out
+}
+
+// SupportCount returns |D_α|.
+func (d *Dataset) SupportCount(alpha itemset.Itemset) int {
+	return d.TIDSet(alpha).Count()
+}
+
+// Support returns the relative support s(α) = |D_α| / |D|.
+func (d *Dataset) Support(alpha itemset.Itemset) float64 {
+	if len(d.transactions) == 0 {
+		return 0
+	}
+	return float64(d.SupportCount(alpha)) / float64(len(d.transactions))
+}
+
+// MinCount converts a relative minimum support threshold σ ∈ [0,1] into an
+// absolute transaction count, rounding up (a pattern is frequent iff
+// |D_α|/|D| ≥ σ, i.e. |D_α| ≥ ⌈σ|D|⌉). A threshold of 0 yields 1 so that
+// "frequent" always means "occurs at least once".
+func (d *Dataset) MinCount(sigma float64) int {
+	if sigma <= 0 {
+		return 1
+	}
+	n := float64(len(d.transactions))
+	c := int(sigma * n)
+	if float64(c) < sigma*n {
+		c++
+	}
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// Closure returns the closure of α: the maximal itemset with the same
+// support set, i.e. the intersection of all transactions in D_α. For an α
+// with empty support the closure is α itself.
+func (d *Dataset) Closure(alpha itemset.Itemset) itemset.Itemset {
+	tids := d.TIDSet(alpha)
+	first := tids.NextSet(0)
+	if first < 0 {
+		return alpha.Clone()
+	}
+	closed := d.transactions[first].Clone()
+	for tid := tids.NextSet(first + 1); tid >= 0 && len(closed) > 0; tid = tids.NextSet(tid + 1) {
+		closed = closed.Intersect(d.transactions[tid])
+	}
+	return closed
+}
+
+// ItemFrequencies returns, for every item in the universe, its support
+// count.
+func (d *Dataset) ItemFrequencies() []int {
+	freq := make([]int, d.numItems)
+	for item, tids := range d.tidsets {
+		freq[item] = tids.Count()
+	}
+	return freq
+}
+
+// FrequentItems returns the items with support count >= minCount, in
+// increasing item order.
+func (d *Dataset) FrequentItems(minCount int) []int {
+	var out []int
+	for item, tids := range d.tidsets {
+		if tids.Count() >= minCount {
+			out = append(out, item)
+		}
+	}
+	return out
+}
+
+// Stats summarizes a dataset; used by the CLI tools and EXPERIMENTS.md.
+type Stats struct {
+	Transactions   int
+	DistinctItems  int // items that occur at least once
+	UniverseSize   int // max item ID + 1
+	MinTxnLen      int
+	MaxTxnLen      int
+	AvgTxnLen      float64
+	TotalItemOccur int
+}
+
+// ComputeStats returns summary statistics for the dataset.
+func (d *Dataset) ComputeStats() Stats {
+	s := Stats{Transactions: len(d.transactions), UniverseSize: d.numItems}
+	if len(d.transactions) == 0 {
+		return s
+	}
+	s.MinTxnLen = len(d.transactions[0])
+	for _, t := range d.transactions {
+		l := len(t)
+		s.TotalItemOccur += l
+		if l < s.MinTxnLen {
+			s.MinTxnLen = l
+		}
+		if l > s.MaxTxnLen {
+			s.MaxTxnLen = l
+		}
+	}
+	s.AvgTxnLen = float64(s.TotalItemOccur) / float64(len(d.transactions))
+	for _, tids := range d.tidsets {
+		if !tids.Empty() {
+			s.DistinctItems++
+		}
+	}
+	return s
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("transactions=%d distinct_items=%d universe=%d txn_len[min/avg/max]=%d/%.1f/%d",
+		s.Transactions, s.DistinctItems, s.UniverseSize, s.MinTxnLen, s.AvgTxnLen, s.MaxTxnLen)
+}
+
+// Pattern is a frequent itemset paired with its support set, the unit of
+// work for Pattern-Fusion and the closed/maximal miners.
+type Pattern struct {
+	Items itemset.Itemset
+	TIDs  *bitset.Bitset // D_α; never nil for patterns built via NewPattern
+}
+
+// NewPattern builds a Pattern for α against d, computing its support set.
+func NewPattern(d *Dataset, alpha itemset.Itemset) *Pattern {
+	return &Pattern{Items: alpha, TIDs: d.TIDSet(alpha)}
+}
+
+// Support returns |D_α|.
+func (p *Pattern) Support() int { return p.TIDs.Count() }
+
+// Size returns |α|.
+func (p *Pattern) Size() int { return len(p.Items) }
+
+// Distance returns the pattern distance of Definition 6 between p and q:
+// 1 − |Dp∩Dq| / |Dp∪Dq|.
+func (p *Pattern) Distance(q *Pattern) float64 {
+	return p.TIDs.Distance(q.TIDs)
+}
+
+// String renders the pattern as "(items):support".
+func (p *Pattern) String() string {
+	return fmt.Sprintf("%v:%d", p.Items, p.Support())
+}
+
+// SortPatterns orders patterns by decreasing size, then decreasing support,
+// then lexicographically — the presentation order used in the experiment
+// reports.
+func SortPatterns(ps []*Pattern) {
+	sort.Slice(ps, func(i, j int) bool {
+		if len(ps[i].Items) != len(ps[j].Items) {
+			return len(ps[i].Items) > len(ps[j].Items)
+		}
+		si, sj := ps[i].Support(), ps[j].Support()
+		if si != sj {
+			return si > sj
+		}
+		return itemset.CompareLex(ps[i].Items, ps[j].Items) < 0
+	})
+}
+
+// DedupPatterns removes patterns with duplicate itemsets, keeping the first
+// occurrence. Order of survivors is preserved.
+func DedupPatterns(ps []*Pattern) []*Pattern {
+	seen := make(map[string]bool, len(ps))
+	out := ps[:0]
+	for _, p := range ps {
+		k := p.Items.Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Itemsets projects a pattern slice to its itemsets.
+func Itemsets(ps []*Pattern) []itemset.Itemset {
+	out := make([]itemset.Itemset, len(ps))
+	for i, p := range ps {
+		out[i] = p.Items
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package dataset
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/itemset"
+)
+
+// paperDB is the transaction database of Figure 3: four distinct
+// transactions, each duplicated 100 times, over items a=0, b=1, c=2, e=3,
+// f=4.
+func paperDB(t *testing.T) *Dataset {
+	t.Helper()
+	var txns [][]int
+	rows := [][]int{
+		{0, 1, 3},       // (abe)
+		{1, 2, 4},       // (bcf)
+		{0, 2, 4},       // (acf)
+		{0, 1, 2, 3, 4}, // (abcef)
+	}
+	for _, row := range rows {
+		for i := 0; i < 100; i++ {
+			txns = append(txns, row)
+		}
+	}
+	return MustNew(txns)
+}
+
+func TestNewBasics(t *testing.T) {
+	d := MustNew([][]int{{3, 1, 1, 2}, {}, {0}})
+	if d.Size() != 3 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if d.NumItems() != 4 {
+		t.Fatalf("NumItems = %d", d.NumItems())
+	}
+	if !d.Transaction(0).Equal(itemset.Itemset{1, 2, 3}) {
+		t.Fatalf("transaction not canonicalized: %v", d.Transaction(0))
+	}
+	if len(d.Transaction(1)) != 0 {
+		t.Fatal("empty transaction lost")
+	}
+}
+
+func TestNewRejectsNegativeItems(t *testing.T) {
+	if _, err := New([][]int{{1, -2}}); err == nil {
+		t.Fatal("negative item accepted")
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	d := MustNew(nil)
+	if d.Size() != 0 || d.NumItems() != 0 {
+		t.Fatal("empty dataset has nonzero size")
+	}
+	if d.Support(itemset.Itemset{1}) != 0 {
+		t.Fatal("support in empty dataset nonzero")
+	}
+}
+
+func TestSupportCounts(t *testing.T) {
+	d := paperDB(t)
+	cases := []struct {
+		alpha []int
+		want  int
+	}{
+		{[]int{0}, 300},       // a: abe, acf, abcef
+		{[]int{0, 1}, 200},    // ab: abe, abcef
+		{[]int{0, 1, 3}, 200}, // abe
+		{[]int{1, 2, 4}, 200}, // bcf
+		{[]int{0, 1, 2, 3, 4}, 100},
+		{[]int{3, 4}, 100}, // ef only in abcef
+		{nil, 400},         // empty itemset in every transaction
+	}
+	for _, c := range cases {
+		if got := d.SupportCount(itemset.Canonical(c.alpha)); got != c.want {
+			t.Errorf("SupportCount(%v) = %d, want %d", c.alpha, got, c.want)
+		}
+	}
+}
+
+func TestSupportOfUnknownItem(t *testing.T) {
+	d := paperDB(t)
+	if got := d.SupportCount(itemset.Itemset{99}); got != 0 {
+		t.Fatalf("unknown item support = %d", got)
+	}
+	if got := d.SupportCount(itemset.Itemset{0, 99}); got != 0 {
+		t.Fatalf("itemset with unknown item support = %d", got)
+	}
+	if d.ItemTIDs(99) != nil {
+		t.Fatal("ItemTIDs out of universe should be nil")
+	}
+}
+
+func TestRelativeSupport(t *testing.T) {
+	d := paperDB(t)
+	if got := d.Support(itemset.Itemset{0}); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("Support(a) = %v, want 0.75", got)
+	}
+}
+
+func TestMinCount(t *testing.T) {
+	d := paperDB(t) // 400 transactions
+	cases := []struct {
+		sigma float64
+		want  int
+	}{
+		{0, 1},
+		{0.5, 200},
+		{0.25, 100},
+		{0.003, 2}, // ceil(1.2)
+		{1, 400},
+	}
+	for _, c := range cases {
+		if got := d.MinCount(c.sigma); got != c.want {
+			t.Errorf("MinCount(%v) = %d, want %d", c.sigma, got, c.want)
+		}
+	}
+}
+
+func TestClosure(t *testing.T) {
+	d := paperDB(t)
+	// (e) appears in abe and abcef; intersection = abe → closure(e) = {a,b,e}.
+	got := d.Closure(itemset.Itemset{3})
+	if !got.Equal(itemset.Itemset{0, 1, 3}) {
+		t.Fatalf("Closure(e) = %v, want (a b e)", got)
+	}
+	// closure of a full transaction is itself.
+	full := itemset.Itemset{0, 1, 2, 3, 4}
+	if !d.Closure(full).Equal(full) {
+		t.Fatal("closure of abcef not itself")
+	}
+	// closure of an infrequent set is itself.
+	if got := d.Closure(itemset.Itemset{99}); !got.Equal(itemset.Itemset{99}) {
+		t.Fatalf("closure of unsupported set = %v", got)
+	}
+}
+
+func TestFrequentItems(t *testing.T) {
+	d := paperDB(t)
+	got := d.FrequentItems(300)
+	// a:300, b:300, c:300, e:200, f:300
+	want := []int{0, 1, 2, 4}
+	if len(got) != len(want) {
+		t.Fatalf("FrequentItems(300) = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("FrequentItems(300) = %v", got)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	d := MustNew([][]int{{0, 1}, {2}, {}})
+	s := d.ComputeStats()
+	if s.Transactions != 3 || s.DistinctItems != 3 || s.UniverseSize != 3 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.MinTxnLen != 0 || s.MaxTxnLen != 2 || math.Abs(s.AvgTxnLen-1.0) > 1e-12 {
+		t.Fatalf("stats lengths = %+v", s)
+	}
+	if !strings.Contains(s.String(), "transactions=3") {
+		t.Fatalf("Stats.String = %q", s.String())
+	}
+}
+
+func TestPattern(t *testing.T) {
+	d := paperDB(t)
+	p := NewPattern(d, itemset.Itemset{0, 1})
+	q := NewPattern(d, itemset.Itemset{1, 2})
+	if p.Support() != 200 || q.Support() != 200 {
+		t.Fatalf("supports %d, %d", p.Support(), q.Support())
+	}
+	// D_ab = {abe, abcef}, D_bc = {bcf, abcef}: |∩|=100, |∪|=300.
+	if got := p.Distance(q); math.Abs(got-(1-100.0/300)) > 1e-12 {
+		t.Fatalf("Distance = %v", got)
+	}
+	if p.Size() != 2 {
+		t.Fatalf("Size = %d", p.Size())
+	}
+	if !strings.Contains(p.String(), ":200") {
+		t.Fatalf("String = %q", p.String())
+	}
+}
+
+func TestSortAndDedupPatterns(t *testing.T) {
+	d := paperDB(t)
+	ps := []*Pattern{
+		NewPattern(d, itemset.Itemset{0}),
+		NewPattern(d, itemset.Itemset{0, 1, 3}),
+		NewPattern(d, itemset.Itemset{0}),
+		NewPattern(d, itemset.Itemset{3, 4}),
+	}
+	ps = DedupPatterns(ps)
+	if len(ps) != 3 {
+		t.Fatalf("DedupPatterns kept %d", len(ps))
+	}
+	SortPatterns(ps)
+	if len(ps[0].Items) != 3 {
+		t.Fatalf("sort order wrong: %v", ps[0].Items)
+	}
+	sets := Itemsets(ps)
+	if len(sets) != 3 || !sets[0].Equal(itemset.Itemset{0, 1, 3}) {
+		t.Fatalf("Itemsets projection wrong: %v", sets)
+	}
+}
+
+func TestTIDSetMatchesNaiveScan(t *testing.T) {
+	d := paperDB(t)
+	alpha := itemset.Itemset{0, 2}
+	tids := d.TIDSet(alpha)
+	for tid := 0; tid < d.Size(); tid++ {
+		want := alpha.SubsetOf(d.Transaction(tid))
+		if tids.Test(tid) != want {
+			t.Fatalf("TIDSet disagrees with scan at tid %d", tid)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// The on-disk format is the FIMI workshop format used by the miners the
+// paper compares against (FPClose, LCM2, TFP): one transaction per line,
+// whitespace-separated non-negative integer item IDs. Blank lines are empty
+// transactions; lines starting with '#' are comments.
+
+// Read parses a FIMI-format transaction database from r.
+func Read(r io.Reader) (*Dataset, error) {
+	var transactions [][]int
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "" {
+			transactions = append(transactions, nil)
+			continue
+		}
+		fields := strings.Fields(line)
+		txn := make([]int, 0, len(fields))
+		for _, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: bad item %q: %w", lineNo, f, err)
+			}
+			if v < 0 {
+				return nil, fmt.Errorf("dataset: line %d: negative item %d", lineNo, v)
+			}
+			txn = append(txn, v)
+		}
+		transactions = append(transactions, txn)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: read: %w", err)
+	}
+	return New(transactions)
+}
+
+// Load reads a FIMI-format transaction database from the named file.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// Write serializes the dataset in FIMI format.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range d.transactions {
+		for i, item := range t {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(item)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Save writes the dataset to the named file in FIMI format.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,75 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestReadBasic(t *testing.T) {
+	in := "1 2 3\n\n# a comment\n5 4\n"
+	d, err := Read(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 3 {
+		t.Fatalf("Size = %d, want 3 (including blank line)", d.Size())
+	}
+	if got := d.Transaction(2).Key(); got != "4,5" {
+		t.Fatalf("transaction 2 = %q", got)
+	}
+	if len(d.Transaction(1)) != 0 {
+		t.Fatal("blank line should be an empty transaction")
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := Read(strings.NewReader("1 x 3\n")); err == nil {
+		t.Fatal("garbage token accepted")
+	}
+	if _, err := Read(strings.NewReader("1 -2\n")); err == nil {
+		t.Fatal("negative item accepted")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	d := MustNew([][]int{{3, 1}, {}, {0, 2, 5}})
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != d.Size() {
+		t.Fatalf("round trip size %d != %d", d2.Size(), d.Size())
+	}
+	for i := 0; i < d.Size(); i++ {
+		if !d.Transaction(i).Equal(d2.Transaction(i)) {
+			t.Fatalf("transaction %d: %v != %v", i, d.Transaction(i), d2.Transaction(i))
+		}
+	}
+}
+
+func TestSaveLoad(t *testing.T) {
+	d := MustNew([][]int{{1, 2}, {3}})
+	path := filepath.Join(t.TempDir(), "db.dat")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Size() != 2 || !d2.Transaction(0).Equal(d.Transaction(0)) {
+		t.Fatal("Save/Load mismatch")
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.dat")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}

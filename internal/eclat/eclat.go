@@ -1,0 +1,97 @@
+// Package eclat implements the Eclat frequent itemset miner (Zaki's
+// equivalence-class vertical approach): a depth-first search over
+// item-prefix equivalence classes where each extension's support set is the
+// bitset intersection of its parents' TID sets.
+//
+// Eclat serves as the third independent complete-mining oracle for the
+// cross-check tests, and its traversal skeleton is what the closed (charm)
+// and maximal miners refine with pruning.
+package eclat
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// Options configures a mining run.
+type Options struct {
+	MinCount int         // absolute minimum support count (≥ 1)
+	MaxSize  int         // only report itemsets up to this size; 0 = unbounded
+	Canceled func() bool // optional cooperative cancellation
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Patterns []*dataset.Pattern
+	Stopped  bool
+}
+
+// Mine returns the complete set of frequent patterns of d with support
+// count at least minCount.
+func Mine(d *dataset.Dataset, minCount int) *Result {
+	return MineOpts(d, Options{MinCount: minCount})
+}
+
+// MineOpts runs Eclat under the given options.
+func MineOpts(d *dataset.Dataset, opts Options) *Result {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	res := &Result{}
+	m := &miner{opts: opts, res: res}
+
+	var class []extension
+	for _, item := range d.FrequentItems(opts.MinCount) {
+		class = append(class, extension{item: item, tids: d.ItemTIDs(item)})
+	}
+	m.search(nil, class)
+	return res
+}
+
+type extension struct {
+	item int
+	tids *bitset.Bitset
+}
+
+type miner struct {
+	opts Options
+	res  *Result
+}
+
+func (m *miner) canceled() bool {
+	if m.opts.Canceled != nil && m.opts.Canceled() {
+		m.res.Stopped = true
+		return true
+	}
+	return m.res.Stopped
+}
+
+// search processes one equivalence class: every member extends prefix by a
+// single item. Members are in increasing item order, so each itemset is
+// enumerated exactly once.
+func (m *miner) search(prefix itemset.Itemset, class []extension) {
+	if m.canceled() {
+		return
+	}
+	for i, ext := range class {
+		items := prefix.Add(ext.item)
+		m.res.Patterns = append(m.res.Patterns, &dataset.Pattern{Items: items, TIDs: ext.tids.Clone()})
+		if m.opts.MaxSize > 0 && len(items) >= m.opts.MaxSize {
+			continue
+		}
+		var sub []extension
+		for _, other := range class[i+1:] {
+			tids := ext.tids.And(other.tids)
+			if tids.Count() >= m.opts.MinCount {
+				sub = append(sub, extension{item: other.item, tids: tids})
+			}
+		}
+		if len(sub) > 0 {
+			m.search(items, sub)
+			if m.res.Stopped {
+				return
+			}
+		}
+	}
+}

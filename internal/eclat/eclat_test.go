@@ -1,0 +1,75 @@
+package eclat
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/minertest"
+	"repro/internal/rng"
+)
+
+func TestMineAgainstBruteForceRandom(t *testing.T) {
+	r := rng.New(314)
+	for trial := 0; trial < 30; trial++ {
+		d := datagen.Random(r.Split(), 5+r.Intn(30), 3+r.Intn(8), 0.3+r.Float64()*0.4)
+		minCount := 1 + r.Intn(4)
+		res := Mine(d, minCount)
+		got, noDup := minertest.PatternsToMap(res.Patterns)
+		if !noDup {
+			t.Fatalf("trial %d: duplicates", trial)
+		}
+		want := minertest.BruteForceFrequent(d, minCount)
+		if !minertest.SameMap(got, want) {
+			t.Fatalf("trial %d: got %d patterns, want %d", trial, len(got), len(want))
+		}
+	}
+}
+
+func TestTIDSetsExact(t *testing.T) {
+	r := rng.New(4)
+	d := datagen.Random(r, 30, 7, 0.5)
+	for _, p := range Mine(d, 2).Patterns {
+		if !p.TIDs.Equal(d.TIDSet(p.Items)) {
+			t.Fatalf("pattern %v carries wrong tidset", p.Items)
+		}
+	}
+}
+
+func TestMaxSize(t *testing.T) {
+	r := rng.New(6)
+	d := datagen.Random(r, 25, 8, 0.5)
+	res := MineOpts(d, Options{MinCount: 2, MaxSize: 3})
+	for _, p := range res.Patterns {
+		if len(p.Items) > 3 {
+			t.Fatalf("pattern %v exceeds MaxSize", p.Items)
+		}
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if got := Mine(dataset.MustNew(nil), 1).Patterns; len(got) != 0 {
+		t.Fatalf("empty dataset: %d patterns", len(got))
+	}
+	d := dataset.MustNew([][]int{{7}})
+	got := Mine(d, 1).Patterns
+	if len(got) != 1 || got[0].Items.Key() != "7" {
+		t.Fatalf("singleton dataset mined %v", got)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	d := datagen.Diag(18)
+	calls := 0
+	res := MineOpts(d, Options{MinCount: 1, Canceled: func() bool {
+		calls++
+		return calls > 2
+	}})
+	if !res.Stopped {
+		t.Fatal("cancellation not honored")
+	}
+}
+
+// Cross-oracle: Eclat and Apriori must agree — exercised here via brute
+// force on both ends; the three-way agreement test lives in the
+// experiments package where all miners are imported together.

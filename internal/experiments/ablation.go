@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datagen"
+)
+
+// AblationRow is one configuration point of an ablation sweep on the
+// Replace workload: which design-choice value was used, how long the run
+// took, and how many of the three planted colossal patterns were found.
+type AblationRow struct {
+	Name     string        // human-readable parameter setting
+	Time     time.Duration // wall-clock of the full Pattern-Fusion run
+	Recall   float64       // colossal patterns found / 3
+	Patterns int           // result size
+}
+
+// AblationConfig parameterizes the sweeps.
+type AblationConfig struct {
+	K    int
+	Seed uint64
+}
+
+// DefaultAblationConfig matches the Figure 8 setup (K = 100, σ = 0.03).
+func DefaultAblationConfig() AblationConfig { return AblationConfig{K: 100, Seed: 1} }
+
+// Ablations runs all design-choice sweeps of DESIGN.md §4 on the Replace
+// workload and returns the rows grouped per sweep.
+func Ablations(cfg AblationConfig) (map[string][]AblationRow, error) {
+	d, paths := datagen.Replace(cfg.Seed)
+
+	runOne := func(name string, mutate func(*core.Config)) (AblationRow, error) {
+		pf := core.DefaultConfig(cfg.K, 0.03)
+		pf.Seed = cfg.Seed
+		mutate(&pf)
+		t0 := time.Now()
+		res, err := core.Mine(d, pf)
+		if err != nil {
+			return AblationRow{}, err
+		}
+		row := AblationRow{Name: name, Time: time.Since(t0), Patterns: len(res.Patterns)}
+		hits := 0
+		for _, path := range paths {
+			for _, p := range res.Patterns {
+				if p.Items.Equal(path) {
+					hits++
+					break
+				}
+			}
+		}
+		row.Recall = float64(hits) / float64(len(paths))
+		return row, nil
+	}
+
+	out := make(map[string][]AblationRow)
+	add := func(group, name string, mutate func(*core.Config)) error {
+		row, err := runOne(name, mutate)
+		if err != nil {
+			return err
+		}
+		out[group] = append(out[group], row)
+		return nil
+	}
+
+	type sweep struct {
+		group, name string
+		mutate      func(*core.Config)
+	}
+	sweeps := []sweep{
+		{"tau", "τ=0.5", func(c *core.Config) { c.Tau = 0.5 }},
+		{"tau", "τ=0.7", func(c *core.Config) { c.Tau = 0.7 }},
+		{"tau", "τ=0.9", func(c *core.Config) { c.Tau = 0.9 }},
+		{"initpool", "size≤1", func(c *core.Config) { c.InitPoolMaxSize = 1 }},
+		{"initpool", "size≤2", func(c *core.Config) { c.InitPoolMaxSize = 2 }},
+		{"initpool", "size≤3", func(c *core.Config) { c.InitPoolMaxSize = 3 }},
+		{"draws", "draws=2", func(c *core.Config) { c.FusionDraws = 2 }},
+		{"draws", "draws=10", func(c *core.Config) { c.FusionDraws = 10 }},
+		{"draws", "draws=20", func(c *core.Config) { c.FusionDraws = 20 }},
+		{"ball", "ball=256", func(c *core.Config) { c.MaxBallSize = 256 }},
+		{"ball", "ball=2048", func(c *core.Config) { c.MaxBallSize = 2048 }},
+		{"ball", "ball=8192", func(c *core.Config) { c.MaxBallSize = 8192 }},
+		{"elitism", "elitism=0", func(c *core.Config) { c.Elitism = 0 }},
+		{"elitism", "elitism=26", func(c *core.Config) { c.Elitism = 26 }},
+		{"closure", "closure=off", func(c *core.Config) { c.CloseFused = false }},
+		{"closure", "closure=on", func(c *core.Config) { c.CloseFused = true }},
+	}
+	for _, s := range sweeps {
+		if err := add(s.group, s.name, s.mutate); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,471 @@
+// Package experiments contains one driver per figure/table of the paper's
+// evaluation (Section 6), shared by the pfexp command and the repository's
+// benchmark suite. Each driver returns typed rows so callers can render or
+// assert on them; wall-clock comparisons use per-point time budgets since
+// the exact miners are expected to blow up (that is the paper's point).
+//
+// The experiment identifiers follow DESIGN.md §4: E3 = Figure 6, E4 =
+// Figure 7, E5 = Figure 8, E6 = Figure 9, E7 = Figure 10, E8 = the
+// introduction's Diag40+20 example.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/carpenter"
+	"repro/internal/charm"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+	"repro/internal/maximal"
+	"repro/internal/quality"
+	"repro/internal/rng"
+	"repro/internal/topk"
+)
+
+// deadlineCancel returns a cancellation func for a time budget. A zero
+// budget never cancels.
+func deadlineCancel(budget time.Duration) func() bool {
+	if budget <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(budget)
+	return func() bool { return time.Now().After(deadline) }
+}
+
+// ---------------------------------------------------------------------------
+// E8: the introduction's motivating example (Diag40 + 20 rows of a fresh
+// 39-item pattern; σ count = 20).
+
+// IntroResult reports the motivating example: the exact maximal miner gets
+// trapped in the C(40,20) mid-sized patterns while Pattern-Fusion finds the
+// single colossal pattern.
+type IntroResult struct {
+	MaximalTimedOut bool          // the exact miner hit its budget
+	MaximalFound    int           // patterns it had found by then
+	MaximalTime     time.Duration // how long it ran
+	FusionTime      time.Duration
+	FusionFound     bool // Pattern-Fusion found α = (40 … 78)
+	FusionPatterns  int
+}
+
+// Intro runs the motivating example with the given budget for the exact
+// miner.
+func Intro(budget time.Duration, seed uint64) (*IntroResult, error) {
+	d := datagen.DiagPlus(40, 20, 39)
+	colossal := itemset.Canonical(datagen.DiagColossal(40, 39))
+	res := &IntroResult{}
+
+	t0 := time.Now()
+	mres := maximal.MineOpts(d, maximal.Options{MinCount: 20, Canceled: deadlineCancel(budget)})
+	res.MaximalTime = time.Since(t0)
+	res.MaximalTimedOut = mres.Stopped
+	res.MaximalFound = len(mres.Patterns)
+
+	cfg := core.DefaultConfig(20, 0)
+	cfg.MinCount = 20
+	cfg.InitPoolMaxSize = 2
+	cfg.Seed = seed
+	t0 = time.Now()
+	fres, err := core.Mine(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res.FusionTime = time.Since(t0)
+	res.FusionPatterns = len(fres.Patterns)
+	for _, p := range fres.Patterns {
+		if p.Items.Equal(colossal) {
+			res.FusionFound = true
+		}
+	}
+	return res, nil
+}
+
+// ---------------------------------------------------------------------------
+// E3: Figure 6 — run time on Diag_n, Pattern-Fusion vs the exact maximal
+// miner (LCM_maximal stand-in).
+
+// Fig6Row is one point of Figure 6.
+type Fig6Row struct {
+	N            int
+	MaximalTime  time.Duration
+	MaximalOut   bool // exceeded budget (the paper's "cannot finish" regime)
+	MaximalFound int
+	FusionTime   time.Duration
+	FusionSizes  int // number of patterns Pattern-Fusion returned
+}
+
+// Fig6Config parameterizes the sweep.
+type Fig6Config struct {
+	Sizes  []int         // matrix sizes n (paper: 5 … 45)
+	K      int           // Pattern-Fusion K
+	Tau    float64       // core ratio
+	Budget time.Duration // per-point budget for the exact miner
+	Seed   uint64
+}
+
+// DefaultFig6Config mirrors the paper's sweep, with a laptop-scale budget.
+func DefaultFig6Config() Fig6Config {
+	return Fig6Config{
+		Sizes:  []int{5, 10, 15, 20, 22, 24, 26, 28, 30},
+		K:      40,
+		Tau:    0.5,
+		Budget: 2 * time.Second,
+		Seed:   1,
+	}
+}
+
+// Fig6 runs the Diag_n runtime sweep.
+func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, n := range cfg.Sizes {
+		d := datagen.Diag(n)
+		minCount := n / 2
+		if minCount < 1 {
+			minCount = 1
+		}
+		row := Fig6Row{N: n}
+
+		t0 := time.Now()
+		mres := maximal.MineOpts(d, maximal.Options{MinCount: minCount, Canceled: deadlineCancel(cfg.Budget)})
+		row.MaximalTime = time.Since(t0)
+		row.MaximalOut = mres.Stopped
+		row.MaximalFound = len(mres.Patterns)
+
+		pf := core.DefaultConfig(cfg.K, 0)
+		pf.MinCount = minCount
+		pf.Tau = cfg.Tau
+		pf.InitPoolMaxSize = 2
+		pf.Seed = cfg.Seed
+		t0 = time.Now()
+		fres, err := core.Mine(d, pf)
+		if err != nil {
+			return nil, err
+		}
+		row.FusionTime = time.Since(t0)
+		row.FusionSizes = len(fres.Patterns)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// E4: Figure 7 — approximation error on Diag40 vs number of mined patterns,
+// Pattern-Fusion vs uniform sampling from the complete answer set.
+
+// Fig7Row is one point of Figure 7.
+type Fig7Row struct {
+	K            int     // number of mined patterns
+	FusionDelta  float64 // Δ(A_P^Q) of Pattern-Fusion's result
+	UniformDelta float64 // Δ for K patterns sampled uniformly from Q
+}
+
+// Fig7Config parameterizes the sweep.
+type Fig7Config struct {
+	N          int   // Diag size (paper: 40)
+	MinCount   int   // support threshold (paper: 20)
+	Ks         []int // pattern budget sweep (paper: up to 450)
+	SampleSize int   // |Q|: the complete set is too large, so it is sampled
+	Seed       uint64
+}
+
+// DefaultFig7Config mirrors the paper's setup: Diag40, σ count 20, initial
+// pool of the 820 patterns of size ≤ 2, complete set sampled.
+func DefaultFig7Config() Fig7Config {
+	return Fig7Config{
+		N:          40,
+		MinCount:   20,
+		Ks:         []int{20, 50, 100, 150, 200, 250, 300, 350, 400, 450},
+		SampleSize: 500,
+		Seed:       1,
+	}
+}
+
+// Fig7 runs the Diag40 approximation-error sweep. The complete set of
+// maximal patterns of Diag40 at σ count 20 is all C(40,20) subsets of size
+// 20 — far too many to enumerate, so (as in the paper) Q is a uniform
+// sample of it: random 20-subsets of the 40 items.
+func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
+	d := datagen.Diag(cfg.N)
+	r := rng.New(cfg.Seed)
+
+	target := cfg.N - cfg.MinCount // pattern size in the complete set
+	q := make([]itemset.Itemset, cfg.SampleSize)
+	for i := range q {
+		pick := r.SampleInts(cfg.N, target)
+		q[i] = itemset.Canonical(pick)
+	}
+
+	var rows []Fig7Row
+	for _, k := range cfg.Ks {
+		pf := core.DefaultConfig(k, 0)
+		pf.MinCount = cfg.MinCount
+		pf.InitPoolMaxSize = 2
+		pf.Seed = r.Uint64()
+		res, err := core.Mine(d, pf)
+		if err != nil {
+			return nil, err
+		}
+		p := dataset.Itemsets(res.Patterns)
+		// The uniform-sampling baseline picks K patterns from the complete
+		// answer set (all C(40,20) size-20 subsets), independently of the
+		// sample Q it is evaluated against.
+		uniform := make([]itemset.Itemset, k)
+		for i := range uniform {
+			uniform[i] = itemset.Canonical(r.SampleInts(cfg.N, target))
+		}
+		rows = append(rows, Fig7Row{
+			K:            k,
+			FusionDelta:  quality.Delta(p, q),
+			UniformDelta: quality.Delta(uniform, q),
+		})
+	}
+	return rows, nil
+}
+
+// ---------------------------------------------------------------------------
+// E5: Figure 8 — approximation error on Replace for K ∈ {50,100,200},
+// against the complete closed set filtered by pattern size ≥ x.
+
+// Fig8Row is one point of Figure 8: Δ when comparing against all complete
+// patterns of size ≥ MinSize, for each K.
+type Fig8Row struct {
+	MinSize int
+	Deltas  map[int]float64 // K → Δ
+	QSize   int             // |Q_{≥MinSize}|
+}
+
+// Fig8Result carries the sweep plus the headline findings.
+type Fig8Result struct {
+	Rows          []Fig8Row
+	ClosedTotal   int  // size of the complete closed set (paper: 4,315)
+	ColossalFound bool // all three size-44 patterns present in every run
+	InitPool      int  // paper: 20,948
+}
+
+// Fig8Config parameterizes the experiment.
+type Fig8Config struct {
+	Sigma    float64 // minimum support (paper: 0.03)
+	Ks       []int   // paper: 50, 100, 200
+	MinSizes []int   // x sweep (paper: 39 … 45)
+	Seed     uint64
+	Budget   time.Duration // budget for the complete closed mining
+}
+
+// DefaultFig8Config mirrors the paper's setup.
+func DefaultFig8Config() Fig8Config {
+	return Fig8Config{
+		Sigma:    0.03,
+		Ks:       []int{50, 100, 200},
+		MinSizes: []int{38, 39, 40, 41, 42, 43, 44},
+		Seed:     1,
+		Budget:   5 * time.Minute,
+	}
+}
+
+// Fig8 runs the Replace approximation-error sweep.
+func Fig8(cfg Fig8Config) (*Fig8Result, error) {
+	d, paths := datagen.Replace(cfg.Seed)
+	minCount := d.MinCount(cfg.Sigma)
+
+	closed := charm.MineOpts(d, charm.Options{MinCount: minCount, Canceled: deadlineCancel(cfg.Budget)})
+	if closed.Stopped {
+		return nil, fmt.Errorf("fig8: complete closed mining exceeded budget with %d patterns", len(closed.Patterns))
+	}
+	qAll := dataset.Itemsets(closed.Patterns)
+
+	out := &Fig8Result{ClosedTotal: len(qAll), ColossalFound: true}
+	results := make(map[int][]itemset.Itemset)
+	for _, k := range cfg.Ks {
+		pf := core.DefaultConfig(k, cfg.Sigma)
+		pf.InitPoolMaxSize = 3
+		pf.Seed = cfg.Seed + uint64(k)
+		res, err := core.Mine(d, pf)
+		if err != nil {
+			return nil, err
+		}
+		out.InitPool = res.InitPoolSize
+		results[k] = dataset.Itemsets(res.Patterns)
+		// The paper stresses that the three size-44 colossal patterns are
+		// never missed, for any K and τ.
+		for _, path := range paths {
+			found := false
+			for _, got := range results[k] {
+				if got.Equal(path) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out.ColossalFound = false
+			}
+		}
+	}
+	for _, ms := range cfg.MinSizes {
+		qf := quality.FilterBySize(qAll, ms)
+		row := Fig8Row{MinSize: ms, Deltas: make(map[int]float64), QSize: len(qf)}
+		for _, k := range cfg.Ks {
+			row.Deltas[k] = quality.Delta(results[k], qf)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E6: Figure 9 — mining result comparison on the microarray dataset:
+// per pattern size, how many of the complete set's colossal patterns
+// Pattern-Fusion recovers.
+
+// Fig9Row is one row of the Figure 9 table.
+type Fig9Row struct {
+	Size     int
+	Complete int // patterns of this size in the complete set
+	Fusion   int // of those, found (exactly) by Pattern-Fusion
+}
+
+// Fig9Result carries the comparison table.
+type Fig9Result struct {
+	Rows        []Fig9Row
+	CompleteAll int  // total complete patterns of size ≥ MinSize
+	FusionAll   int  // total of those recovered
+	LargestHit  bool // every pattern of size > LargeCutoff recovered
+	LargeCutoff int
+}
+
+// Fig9Config parameterizes the experiment.
+type Fig9Config struct {
+	MinCount int // paper: 30
+	MinSize  int // paper: colossal cutoff 70
+	K        int // paper: 100
+	// LargeCutoff: the paper reports Pattern-Fusion never misses patterns
+	// of size > 85.
+	LargeCutoff int
+	Seed        uint64
+}
+
+// DefaultFig9Config mirrors the paper's setup.
+func DefaultFig9Config() Fig9Config {
+	return Fig9Config{MinCount: 30, MinSize: 70, K: 100, LargeCutoff: 85, Seed: 1}
+}
+
+// Fig9 runs the microarray comparison.
+func Fig9(cfg Fig9Config) (*Fig9Result, error) {
+	d, _ := datagen.Microarray(cfg.Seed)
+	complete := carpenter.Mine(d, cfg.MinCount, cfg.MinSize)
+
+	pf := core.DefaultConfig(cfg.K, 0)
+	pf.MinCount = cfg.MinCount
+	pf.InitPoolMaxSize = 2
+	pf.Seed = cfg.Seed
+	fres, err := core.Mine(d, pf)
+	if err != nil {
+		return nil, err
+	}
+	found := make(map[string]bool)
+	for _, p := range fres.Patterns {
+		found[p.Items.Key()] = true
+	}
+
+	bySize := make(map[int]*Fig9Row)
+	out := &Fig9Result{LargestHit: true, LargeCutoff: cfg.LargeCutoff}
+	for _, p := range complete.Patterns {
+		size := len(p.Items)
+		row, ok := bySize[size]
+		if !ok {
+			row = &Fig9Row{Size: size}
+			bySize[size] = row
+		}
+		row.Complete++
+		out.CompleteAll++
+		if found[p.Items.Key()] {
+			row.Fusion++
+			out.FusionAll++
+		} else if size > cfg.LargeCutoff {
+			out.LargestHit = false
+		}
+	}
+	sizes := make([]int, 0, len(bySize))
+	for s := range bySize {
+		sizes = append(sizes, s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	for _, s := range sizes {
+		out.Rows = append(out.Rows, *bySize[s])
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// E7: Figure 10 — run time on the microarray dataset with decreasing
+// minimum support: LCM_maximal and TFP blow up, Pattern-Fusion levels off.
+
+// Fig10Row is one point of Figure 10.
+type Fig10Row struct {
+	MinCount    int
+	MaximalTime time.Duration
+	MaximalOut  bool
+	TopKTime    time.Duration
+	TopKOut     bool
+	FusionTime  time.Duration
+}
+
+// Fig10Config parameterizes the sweep.
+type Fig10Config struct {
+	MinCounts []int // paper: 31 down to 21
+	K         int   // Pattern-Fusion K
+	// TopKK is the k given to the TFP stand-in. The paper parameterizes
+	// TFP by the support threshold, i.e. it must enumerate the closed
+	// lattice down to σ; a large k with the floor set to σ reproduces
+	// that workload.
+	TopKK    int
+	TopKMinL int           // TFP min pattern length
+	Budget   time.Duration // per-point budget for the exact miners
+	Seed     uint64
+}
+
+// DefaultFig10Config mirrors the paper's sweep with laptop budgets.
+func DefaultFig10Config() Fig10Config {
+	return Fig10Config{
+		MinCounts: []int{31, 30, 29, 28, 27, 26, 25, 24, 23, 22, 21},
+		K:         100,
+		TopKK:     5000,
+		TopKMinL:  5,
+		Budget:    2 * time.Second,
+		Seed:      1,
+	}
+}
+
+// Fig10 runs the microarray runtime sweep.
+func Fig10(cfg Fig10Config) ([]Fig10Row, error) {
+	d, _ := datagen.Microarray(cfg.Seed)
+	var rows []Fig10Row
+	for _, mc := range cfg.MinCounts {
+		row := Fig10Row{MinCount: mc}
+
+		t0 := time.Now()
+		mres := maximal.MineOpts(d, maximal.Options{MinCount: mc, Canceled: deadlineCancel(cfg.Budget)})
+		row.MaximalTime = time.Since(t0)
+		row.MaximalOut = mres.Stopped
+
+		t0 = time.Now()
+		tres := topk.MineOpts(d, topk.Options{K: cfg.TopKK, MinLength: cfg.TopKMinL, FloorMin: mc, Canceled: deadlineCancel(cfg.Budget)})
+		row.TopKTime = time.Since(t0)
+		row.TopKOut = tres.Stopped
+
+		pf := core.DefaultConfig(cfg.K, 0)
+		pf.MinCount = mc
+		pf.InitPoolMaxSize = 2
+		pf.Seed = cfg.Seed
+		t0 = time.Now()
+		if _, err := core.Mine(d, pf); err != nil {
+			return nil, err
+		}
+		row.FusionTime = time.Since(t0)
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

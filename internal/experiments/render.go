@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// CSV rendering of the experiment rows, so the regenerated figures can be
+// fed straight into a plotting tool. One function per experiment; columns
+// mirror the axes of the paper's figures. Durations are in seconds;
+// budget-exceeded runs carry exceeded=1 with the budget as the time.
+
+// WriteFig6CSV writes the Figure 6 sweep.
+func WriteFig6CSV(w io.Writer, rows []Fig6Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"n", "maximal_seconds", "maximal_exceeded", "maximal_found", "fusion_seconds", "fusion_patterns"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.N),
+			seconds(r.MaximalTime),
+			boolFlag(r.MaximalOut),
+			strconv.Itoa(r.MaximalFound),
+			seconds(r.FusionTime),
+			strconv.Itoa(r.FusionSizes),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig7CSV writes the Figure 7 sweep.
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"k", "delta_fusion", "delta_uniform"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.K),
+			floatCell(r.FusionDelta),
+			floatCell(r.UniformDelta),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig8CSV writes the Figure 8 sweep; one row per (min size, K).
+func WriteFig8CSV(w io.Writer, res *Fig8Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"min_size", "q_size", "k", "delta"}); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		ks := make([]int, 0, len(row.Deltas))
+		for k := range row.Deltas {
+			ks = append(ks, k)
+		}
+		sort.Ints(ks)
+		for _, k := range ks {
+			if err := cw.Write([]string{
+				strconv.Itoa(row.MinSize),
+				strconv.Itoa(row.QSize),
+				strconv.Itoa(k),
+				floatCell(row.Deltas[k]),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig9CSV writes the Figure 9 comparison table.
+func WriteFig9CSV(w io.Writer, res *Fig9Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"pattern_size", "complete", "fusion"}); err != nil {
+		return err
+	}
+	for _, row := range res.Rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(row.Size),
+			strconv.Itoa(row.Complete),
+			strconv.Itoa(row.Fusion),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig10CSV writes the Figure 10 sweep.
+func WriteFig10CSV(w io.Writer, rows []Fig10Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"min_count", "maximal_seconds", "maximal_exceeded", "topk_seconds", "topk_exceeded", "fusion_seconds"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.MinCount),
+			seconds(r.MaximalTime),
+			boolFlag(r.MaximalOut),
+			seconds(r.TopKTime),
+			boolFlag(r.TopKOut),
+			seconds(r.FusionTime),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteAblationCSV writes the ablation sweeps.
+func WriteAblationCSV(w io.Writer, groups map[string][]AblationRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"sweep", "setting", "recall", "seconds", "patterns"}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(groups))
+	for g := range groups {
+		names = append(names, g)
+	}
+	sort.Strings(names)
+	for _, g := range names {
+		for _, row := range groups[g] {
+			if err := cw.Write([]string{
+				g,
+				row.Name,
+				floatCell(row.Recall),
+				seconds(row.Time),
+				strconv.Itoa(row.Patterns),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func seconds(d time.Duration) string { return fmt.Sprintf("%.6f", d.Seconds()) }
+
+func boolFlag(b bool) string {
+	if b {
+		return "1"
+	}
+	return "0"
+}
+
+func floatCell(f float64) string { return strconv.FormatFloat(f, 'f', 6, 64) }

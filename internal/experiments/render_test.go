@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseCSV(t *testing.T, s string) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(strings.NewReader(s)).ReadAll()
+	if err != nil {
+		t.Fatalf("invalid CSV: %v\n%s", err, s)
+	}
+	return recs
+}
+
+func TestWriteFig6CSV(t *testing.T) {
+	rows := []Fig6Row{
+		{N: 10, MaximalTime: 500 * time.Microsecond, MaximalFound: 252, FusionTime: 10 * time.Millisecond, FusionSizes: 40},
+		{N: 20, MaximalTime: 2 * time.Second, MaximalOut: true, MaximalFound: 23508, FusionTime: 24 * time.Millisecond, FusionSizes: 40},
+	}
+	var buf bytes.Buffer
+	if err := WriteFig6CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	if recs[0][0] != "n" || recs[1][0] != "10" || recs[2][2] != "1" {
+		t.Fatalf("unexpected contents: %v", recs)
+	}
+}
+
+func TestWriteFig7CSV(t *testing.T) {
+	rows := []Fig7Row{{K: 20, FusionDelta: 0.91, UniformDelta: 0.83}}
+	var buf bytes.Buffer
+	if err := WriteFig7CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 2 || recs[1][1] != "0.910000" {
+		t.Fatalf("unexpected contents: %v", recs)
+	}
+}
+
+func TestWriteFig8CSV(t *testing.T) {
+	res := &Fig8Result{Rows: []Fig8Row{
+		{MinSize: 42, QSize: 90, Deltas: map[int]float64{100: 0.0049, 50: 0.0083}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig8CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	// Header + one row per K, ordered by K.
+	if len(recs) != 3 || recs[1][2] != "50" || recs[2][2] != "100" {
+		t.Fatalf("unexpected contents: %v", recs)
+	}
+}
+
+func TestWriteFig9CSV(t *testing.T) {
+	res := &Fig9Result{Rows: []Fig9Row{{Size: 110, Complete: 1, Fusion: 1}}}
+	var buf bytes.Buffer
+	if err := WriteFig9CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 2 || recs[1][0] != "110" {
+		t.Fatalf("unexpected contents: %v", recs)
+	}
+}
+
+func TestWriteFig10CSV(t *testing.T) {
+	rows := []Fig10Row{{MinCount: 21, MaximalTime: 2 * time.Second, MaximalOut: true,
+		TopKTime: 2 * time.Second, TopKOut: true, FusionTime: 3 * time.Second}}
+	var buf bytes.Buffer
+	if err := WriteFig10CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 2 || recs[1][2] != "1" || recs[1][4] != "1" {
+		t.Fatalf("unexpected contents: %v", recs)
+	}
+}
+
+func TestWriteAblationCSV(t *testing.T) {
+	groups := map[string][]AblationRow{
+		"tau":      {{Name: "τ=0.5", Recall: 1, Time: time.Second, Patterns: 100}},
+		"initpool": {{Name: "size≤1", Recall: 0, Time: 5 * time.Second, Patterns: 100}},
+	}
+	var buf bytes.Buffer
+	if err := WriteAblationCSV(&buf, groups); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.String())
+	if len(recs) != 3 {
+		t.Fatalf("got %d records", len(recs))
+	}
+	// Groups sorted alphabetically: initpool before tau.
+	if recs[1][0] != "initpool" || recs[2][0] != "tau" {
+		t.Fatalf("unexpected group order: %v", recs)
+	}
+}

@@ -1,0 +1,142 @@
+// Package fpgrowth implements the FP-growth frequent itemset miner of Han,
+// Pei & Yin (SIGMOD'00) on top of the FP-tree of package fptree. It mines
+// the complete frequent set by recursively building conditional trees, with
+// the single-path combination short-circuit.
+//
+// In this repository FP-growth is a baseline and an independent oracle: the
+// cross-check tests require Apriori, FP-growth and Eclat to produce
+// identical complete sets on randomized databases.
+package fpgrowth
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/fptree"
+	"repro/internal/itemset"
+)
+
+// ItemsetCount is a frequent itemset with its support count. FP-growth is a
+// horizontal miner, so unlike the vertical miners it reports counts rather
+// than materialized TID sets.
+type ItemsetCount struct {
+	Items itemset.Itemset
+	Count int
+}
+
+// Options configures a mining run.
+type Options struct {
+	MinCount int         // absolute minimum support count (≥ 1)
+	MaxSize  int         // only report itemsets up to this size; 0 = unbounded
+	Canceled func() bool // optional cooperative cancellation
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Itemsets []ItemsetCount
+	Stopped  bool
+}
+
+// Mine returns the complete set of frequent itemsets of d with support
+// count at least minCount.
+func Mine(d *dataset.Dataset, minCount int) *Result {
+	return MineOpts(d, Options{MinCount: minCount})
+}
+
+// MineOpts runs FP-growth under the given options.
+func MineOpts(d *dataset.Dataset, opts Options) *Result {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	res := &Result{}
+	tree := fptree.Build(d, opts.MinCount)
+	m := &miner{opts: opts, res: res}
+	m.grow(tree, nil)
+	// Deterministic presentation order.
+	sort.Slice(res.Itemsets, func(i, j int) bool {
+		return itemset.Compare(res.Itemsets[i].Items, res.Itemsets[j].Items) < 0
+	})
+	return res
+}
+
+type miner struct {
+	opts Options
+	res  *Result
+}
+
+func (m *miner) canceled() bool {
+	if m.opts.Canceled != nil && m.opts.Canceled() {
+		m.res.Stopped = true
+		return true
+	}
+	return m.res.Stopped
+}
+
+func (m *miner) emit(items itemset.Itemset, count int) {
+	if m.opts.MaxSize > 0 && len(items) > m.opts.MaxSize {
+		return
+	}
+	m.res.Itemsets = append(m.res.Itemsets, ItemsetCount{Items: items, Count: count})
+}
+
+// grow mines tree conditioned on suffix (the itemset accumulated so far).
+func (m *miner) grow(tree *fptree.Tree, suffix itemset.Itemset) {
+	if m.canceled() {
+		return
+	}
+	if m.opts.MaxSize > 0 && len(suffix) >= m.opts.MaxSize {
+		return
+	}
+	if path := tree.SinglePath(); path != nil {
+		m.combinations(path, suffix)
+		return
+	}
+	for _, item := range tree.Items() {
+		if m.canceled() {
+			return
+		}
+		count := tree.Counts[item]
+		if count < m.opts.MinCount {
+			continue
+		}
+		newSuffix := suffix.Add(item)
+		m.emit(newSuffix, count)
+		if m.opts.MaxSize > 0 && len(newSuffix) >= m.opts.MaxSize {
+			continue
+		}
+		cond := tree.ConditionalTree(item, m.opts.MinCount)
+		if !cond.Empty() {
+			m.grow(cond, newSuffix)
+		}
+	}
+}
+
+// combinations emits suffix ∪ S for every non-empty subset S of the single
+// path, with support equal to the count of the deepest node of S.
+func (m *miner) combinations(path []*fptree.Node, suffix itemset.Itemset) {
+	n := len(path)
+	limit := n
+	if m.opts.MaxSize > 0 {
+		budget := m.opts.MaxSize - len(suffix)
+		if budget < limit {
+			limit = budget
+		}
+	}
+	if limit <= 0 {
+		return
+	}
+	// Depth-first subset enumeration keeping track of the minimum count
+	// (counts are non-increasing along the path, so the deepest chosen node
+	// has the minimum).
+	var rec func(start int, chosen itemset.Itemset)
+	rec = func(start int, chosen itemset.Itemset) {
+		for i := start; i < n; i++ {
+			next := chosen.Add(path[i].Item)
+			m.emit(suffix.Union(next), path[i].Count)
+			if len(next) < limit {
+				rec(i+1, next)
+			}
+		}
+	}
+	rec(0, nil)
+}

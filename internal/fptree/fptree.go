@@ -1,0 +1,180 @@
+// Package fptree implements the FP-tree (frequent-pattern tree) of Han, Pei
+// & Yin (SIGMOD'00): a prefix tree over support-descending reorderings of
+// the transactions, with header-table node links per item. It is the data
+// structure behind the FP-growth miner in package fpgrowth, one of the
+// depth-first "pattern-growth" baselines the paper contrasts Pattern-Fusion
+// with (Section 1, Figure 1).
+package fptree
+
+import (
+	"sort"
+
+	"repro/internal/dataset"
+)
+
+// Node is one FP-tree node: an item with the count of transactions whose
+// reordered prefix passes through it.
+type Node struct {
+	Item     int
+	Count    int
+	Parent   *Node
+	Children map[int]*Node
+	Link     *Node // next node with the same item (header chain)
+}
+
+// Tree is an FP-tree with its header table.
+type Tree struct {
+	Root    *Node
+	Headers map[int]*Node // item -> first node in the chain
+	Counts  map[int]int   // item -> total support within this tree
+	// Order maps item -> rank in the global support-descending order; items
+	// in every branch appear in increasing rank from the root.
+	Order map[int]int
+}
+
+// Build constructs the FP-tree for d keeping only items with support count
+// at least minCount. Items within each transaction are reordered by
+// descending global support (ties broken by item ID, ascending) — the
+// canonical FP-tree ordering that maximizes prefix sharing.
+func Build(d *dataset.Dataset, minCount int) *Tree {
+	freq := d.ItemFrequencies()
+	var items []int
+	for item, c := range freq {
+		if c >= minCount {
+			items = append(items, item)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if freq[items[i]] != freq[items[j]] {
+			return freq[items[i]] > freq[items[j]]
+		}
+		return items[i] < items[j]
+	})
+	order := make(map[int]int, len(items))
+	for rank, item := range items {
+		order[item] = rank
+	}
+
+	t := newTree(order)
+	buf := make([]int, 0, 64)
+	for _, txn := range d.Transactions() {
+		buf = buf[:0]
+		for _, item := range txn {
+			if _, ok := order[item]; ok {
+				buf = append(buf, item)
+			}
+		}
+		sort.Slice(buf, func(i, j int) bool { return order[buf[i]] < order[buf[j]] })
+		t.Insert(buf, 1)
+	}
+	return t
+}
+
+func newTree(order map[int]int) *Tree {
+	return &Tree{
+		Root:    &Node{Item: -1, Children: make(map[int]*Node)},
+		Headers: make(map[int]*Node),
+		Counts:  make(map[int]int),
+		Order:   order,
+	}
+}
+
+// Insert adds a support-ordered item path with the given count.
+func (t *Tree) Insert(path []int, count int) {
+	cur := t.Root
+	for _, item := range path {
+		child, ok := cur.Children[item]
+		if !ok {
+			child = &Node{Item: item, Parent: cur, Children: make(map[int]*Node)}
+			child.Link = t.Headers[item]
+			t.Headers[item] = child
+			cur.Children[item] = child
+		}
+		child.Count += count
+		t.Counts[item] += count
+		cur = child
+	}
+}
+
+// Empty reports whether the tree contains no items.
+func (t *Tree) Empty() bool { return len(t.Root.Children) == 0 }
+
+// SinglePath returns the unique root-to-leaf path (items with their counts)
+// if the tree consists of a single chain, or nil otherwise. FP-growth uses
+// this to short-circuit: all frequent patterns of a single-path tree are the
+// sub-combinations of the path.
+func (t *Tree) SinglePath() []*Node {
+	var path []*Node
+	cur := t.Root
+	for {
+		if len(cur.Children) == 0 {
+			return path
+		}
+		if len(cur.Children) > 1 {
+			return nil
+		}
+		for _, child := range cur.Children {
+			path = append(path, child)
+			cur = child
+		}
+	}
+}
+
+// Items returns the distinct items present in the tree, sorted by
+// increasing within-tree support (ties by item ID descending, i.e. reverse
+// of the insertion order), which is the bottom-up order FP-growth visits
+// header entries in.
+func (t *Tree) Items() []int {
+	items := make([]int, 0, len(t.Counts))
+	for item := range t.Counts {
+		items = append(items, item)
+	}
+	sort.Slice(items, func(i, j int) bool {
+		if t.Counts[items[i]] != t.Counts[items[j]] {
+			return t.Counts[items[i]] < t.Counts[items[j]]
+		}
+		return items[i] > items[j]
+	})
+	return items
+}
+
+// ConditionalTree builds the conditional FP-tree of item: the FP-tree of the
+// prefix paths of item's nodes, with items below minCount removed.
+func (t *Tree) ConditionalTree(item, minCount int) *Tree {
+	// Gather conditional pattern base: (path, count) pairs.
+	type base struct {
+		path  []int
+		count int
+	}
+	var bases []base
+	counts := make(map[int]int)
+	for node := t.Headers[item]; node != nil; node = node.Link {
+		var path []int
+		for p := node.Parent; p != nil && p.Item != -1; p = p.Parent {
+			path = append(path, p.Item)
+		}
+		// path is leaf→root; reverse to root→leaf.
+		for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+			path[i], path[j] = path[j], path[i]
+		}
+		if len(path) > 0 {
+			bases = append(bases, base{path, node.Count})
+			for _, it := range path {
+				counts[it] += node.Count
+			}
+		}
+	}
+	cond := newTree(t.Order)
+	buf := make([]int, 0, 32)
+	for _, b := range bases {
+		buf = buf[:0]
+		for _, it := range b.path {
+			if counts[it] >= minCount {
+				buf = append(buf, it)
+			}
+		}
+		// Paths inherit the parent tree's order, already root→leaf sorted.
+		cond.Insert(buf, b.count)
+	}
+	return cond
+}

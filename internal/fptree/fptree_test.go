@@ -1,0 +1,184 @@
+package fptree
+
+import (
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func buildSmall(t *testing.T) (*dataset.Dataset, *Tree) {
+	t.Helper()
+	d := dataset.MustNew([][]int{
+		{0, 1, 2},
+		{0, 1},
+		{0, 2},
+		{0},
+		{3}, // infrequent at minCount 2 if alone
+	})
+	return d, Build(d, 2)
+}
+
+func TestBuildCounts(t *testing.T) {
+	_, tree := buildSmall(t)
+	// Supports: 0:4, 1:2, 2:2, 3:1 (below minCount 2 → excluded).
+	if got := tree.Counts[0]; got != 4 {
+		t.Fatalf("count(0) = %d, want 4", got)
+	}
+	if got := tree.Counts[1]; got != 2 {
+		t.Fatalf("count(1) = %d, want 2", got)
+	}
+	if got := tree.Counts[2]; got != 2 {
+		t.Fatalf("count(2) = %d, want 2", got)
+	}
+	if _, ok := tree.Counts[3]; ok {
+		t.Fatal("infrequent item 3 in tree")
+	}
+}
+
+func TestPrefixSharing(t *testing.T) {
+	_, tree := buildSmall(t)
+	// Item 0 has the highest support, so every branch starts with it: the
+	// root must have exactly one child.
+	if len(tree.Root.Children) != 1 {
+		t.Fatalf("root has %d children, want 1", len(tree.Root.Children))
+	}
+	child, ok := tree.Root.Children[0]
+	if !ok {
+		t.Fatal("root child is not item 0")
+	}
+	if child.Count != 4 {
+		t.Fatalf("root child count = %d, want 4", child.Count)
+	}
+}
+
+func TestHeaderChains(t *testing.T) {
+	_, tree := buildSmall(t)
+	for item := 0; item <= 2; item++ {
+		total := 0
+		for n := tree.Headers[item]; n != nil; n = n.Link {
+			if n.Item != item {
+				t.Fatalf("header chain of %d contains node for %d", item, n.Item)
+			}
+			total += n.Count
+		}
+		if total != tree.Counts[item] {
+			t.Fatalf("header chain of %d sums to %d, want %d", item, total, tree.Counts[item])
+		}
+	}
+}
+
+func TestSinglePath(t *testing.T) {
+	d := dataset.MustNew([][]int{{0, 1, 2}, {0, 1}, {0}})
+	tree := Build(d, 1)
+	path := tree.SinglePath()
+	if path == nil {
+		t.Fatal("nested transactions should form a single path")
+	}
+	if len(path) != 3 {
+		t.Fatalf("single path length %d, want 3", len(path))
+	}
+	// Counts must be non-increasing along the path.
+	for i := 1; i < len(path); i++ {
+		if path[i].Count > path[i-1].Count {
+			t.Fatal("path counts increase")
+		}
+	}
+
+	d2 := dataset.MustNew([][]int{{0, 1}, {0, 2}, {1, 2}})
+	if Build(d2, 1).SinglePath() != nil {
+		t.Fatal("branching tree reported as single path")
+	}
+}
+
+func TestEmptyTree(t *testing.T) {
+	d := dataset.MustNew([][]int{{0}, {1}})
+	tree := Build(d, 3) // nothing frequent
+	if !tree.Empty() {
+		t.Fatal("tree with no frequent items should be empty")
+	}
+	if tree.SinglePath() != nil && len(tree.SinglePath()) != 0 {
+		t.Fatal("empty tree has a non-empty single path")
+	}
+}
+
+func TestItemsBottomUpOrder(t *testing.T) {
+	_, tree := buildSmall(t)
+	items := tree.Items()
+	for i := 1; i < len(items); i++ {
+		if tree.Counts[items[i]] < tree.Counts[items[i-1]] {
+			t.Fatalf("Items not in ascending support order: %v", items)
+		}
+	}
+}
+
+func TestConditionalTree(t *testing.T) {
+	d := dataset.MustNew([][]int{
+		{0, 1, 2},
+		{0, 1, 2},
+		{1, 2},
+		{0, 2},
+	})
+	tree := Build(d, 2)
+	// Supports: 2:4, 0:3, 1:3 → tree order is 2, 0, 1; item 1 is deepest.
+	// Its prefix paths are [2,0]×2 and [2]×1.
+	cond := tree.ConditionalTree(1, 2)
+	if cond.Counts[2] != 3 {
+		t.Fatalf("conditional count(2) = %d, want 3", cond.Counts[2])
+	}
+	if cond.Counts[0] != 2 {
+		t.Fatalf("conditional count(0) = %d, want 2", cond.Counts[0])
+	}
+	if _, ok := cond.Counts[1]; ok {
+		t.Fatal("conditional tree contains its own item")
+	}
+	// The most frequent item sits at the top of every branch, so its
+	// conditional tree is empty.
+	if !tree.ConditionalTree(2, 2).Empty() {
+		t.Fatal("conditional tree of the top item should be empty")
+	}
+}
+
+func TestConditionalTreeFiltersInfrequent(t *testing.T) {
+	d := dataset.MustNew([][]int{
+		{0, 2},
+		{1, 2},
+		{1, 2},
+	})
+	tree := Build(d, 1)
+	// Supports: 2:3, 1:2, 0:1 → order 2, 1, 0. In item 0's conditional
+	// base the only path is [2] with count 1 < 2: filtered to empty.
+	if !tree.ConditionalTree(0, 2).Empty() {
+		t.Fatal("infrequent conditional item kept")
+	}
+	// Item 1's base is [2]×2: kept at minCount 2.
+	cond := tree.ConditionalTree(1, 2)
+	if cond.Counts[2] != 2 {
+		t.Fatalf("conditional count(2) = %d, want 2", cond.Counts[2])
+	}
+}
+
+func TestTreeTotalCountConservation(t *testing.T) {
+	// Sum of leaf-to-root path counts weighted by count equals the number
+	// of non-empty filtered transactions; simpler invariant: for every
+	// item, chain total = dataset support (≥ minCount items only).
+	r := rng.New(77)
+	d := datagen.Random(r, 60, 12, 0.4)
+	tree := Build(d, 5)
+	freq := d.ItemFrequencies()
+	for item, c := range tree.Counts {
+		if c != freq[item] {
+			t.Fatalf("tree count of %d = %d, dataset support = %d", item, c, freq[item])
+		}
+	}
+}
+
+func TestInsertAccumulates(t *testing.T) {
+	tree := Build(dataset.MustNew([][]int{{0, 1}}), 1)
+	before := tree.Counts[1]
+	tree.Insert([]int{0, 1}, 3)
+	if tree.Counts[1] != before+3 {
+		t.Fatalf("Insert did not accumulate counts")
+	}
+}

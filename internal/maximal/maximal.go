@@ -1,0 +1,215 @@
+// Package maximal mines the complete set of maximal frequent itemsets:
+// frequent patterns with no frequent super-pattern.
+//
+// It is this repository's stand-in for LCM_maximal, the FIMI'04 winner the
+// paper benchmarks against in Figures 6 and 10. The search is a GenMax/
+// MAFIA-style depth-first backtracking over vertical TID bitsets with the
+// standard prunings:
+//
+//   - PEP (parent equivalence pruning): a tail item whose tidset contains
+//     the head's tidset is moved into the head — every maximal superset of
+//     the head contains it;
+//   - FHUT lookahead: if head ∪ tail is itself frequent it is the only
+//     candidate in this subtree;
+//   - HUTMFI: if head ∪ tail is a subset of a known maximal set the whole
+//     subtree is subsumed;
+//   - dynamic reordering: extensions are re-sorted by increasing support so
+//     the most constrained branches are explored first.
+//
+// Like every exact algorithm, its running time explodes when the number of
+// mid-sized maximal patterns does (e.g. on Diag_n, which has C(n, n/2) of
+// them) — exactly the behaviour Figure 6 documents and Pattern-Fusion
+// sidesteps.
+package maximal
+
+import (
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// Options configures a mining run.
+type Options struct {
+	MinCount int         // absolute minimum support count (≥ 1)
+	Canceled func() bool // optional cooperative cancellation
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Patterns []*dataset.Pattern // the maximal frequent patterns
+	Visited  int                // search nodes explored
+	Stopped  bool               // true if the run was canceled; Patterns is then partial
+}
+
+// Mine returns all maximal frequent patterns of d with support count at
+// least minCount.
+func Mine(d *dataset.Dataset, minCount int) *Result {
+	return MineOpts(d, Options{MinCount: minCount})
+}
+
+// MineOpts runs the maximal miner under the given options.
+func MineOpts(d *dataset.Dataset, opts Options) *Result {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	m := &miner{d: d, opts: opts, res: &Result{}}
+
+	var tail []extension
+	for _, item := range d.FrequentItems(opts.MinCount) {
+		tail = append(tail, extension{item: item, tids: d.ItemTIDs(item).Clone()})
+	}
+	if len(tail) == 0 {
+		return m.res
+	}
+	all := bitset.New(d.Size())
+	all.SetAll()
+	m.search(nil, all, tail)
+	return m.res
+}
+
+type extension struct {
+	item int
+	tids *bitset.Bitset
+}
+
+type miner struct {
+	d    *dataset.Dataset
+	opts Options
+	res  *Result
+	// mfi is the list of maximal sets found so far, each with an item
+	// bitset for fast subset tests.
+	mfi []itemBits
+}
+
+type itemBits struct {
+	pattern *dataset.Pattern
+	bits    *bitset.Bitset // over item IDs
+}
+
+func (m *miner) canceled() bool {
+	if m.opts.Canceled != nil && m.opts.Canceled() {
+		m.res.Stopped = true
+		return true
+	}
+	return m.res.Stopped
+}
+
+func (m *miner) itemBitsOf(items itemset.Itemset) *bitset.Bitset {
+	b := bitset.New(m.d.NumItems())
+	for _, it := range items {
+		b.Set(it)
+	}
+	return b
+}
+
+// subsumed reports whether items is contained in a known maximal set.
+func (m *miner) subsumed(bits *bitset.Bitset) bool {
+	for _, mx := range m.mfi {
+		if bits.SubsetOf(mx.bits) {
+			return true
+		}
+	}
+	return false
+}
+
+// record adds items to the MFI if it is not subsumed.
+func (m *miner) record(items itemset.Itemset, tids *bitset.Bitset) {
+	bits := m.itemBitsOf(items)
+	if m.subsumed(bits) {
+		return
+	}
+	p := &dataset.Pattern{Items: items, TIDs: tids.Clone()}
+	m.mfi = append(m.mfi, itemBits{pattern: p, bits: bits})
+	m.res.Patterns = append(m.res.Patterns, p)
+}
+
+// search explores the subtree of head (with support set tids) using the
+// candidate extensions in tail. Tail tidsets may be relative to any
+// ancestor; they are re-intersected with tids on entry.
+func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extension) {
+	if m.canceled() {
+		return
+	}
+	m.res.Visited++
+
+	// Compute frequent extensions relative to head; PEP-absorb equal-support
+	// ones directly into the head.
+	var exts []extension
+	for _, e := range tail {
+		sub := tids.And(e.tids)
+		c := sub.Count()
+		if c < m.opts.MinCount {
+			continue
+		}
+		if c == tids.Count() {
+			// PEP: D_head ⊆ D_item, so every maximal superset of head
+			// includes this item.
+			head = head.Add(e.item)
+			continue
+		}
+		exts = append(exts, extension{item: e.item, tids: sub})
+	}
+
+	if len(exts) == 0 {
+		m.record(head, tids)
+		return
+	}
+
+	// HUT = head ∪ tail: used by both the HUTMFI subsumption prune and the
+	// FHUT frequency lookahead.
+	hut := head
+	for _, e := range exts {
+		hut = hut.Add(e.item)
+	}
+	if m.subsumed(m.itemBitsOf(hut)) {
+		return
+	}
+	hutTids := tids.Clone()
+	for _, e := range exts {
+		hutTids.InPlaceAnd(e.tids)
+		if hutTids.Count() < m.opts.MinCount {
+			hutTids = nil
+			break
+		}
+	}
+	if hutTids != nil {
+		// FHUT: head ∪ tail is frequent — the unique maximal candidate here.
+		m.record(hut, hutTids)
+		return
+	}
+
+	// Dynamic reordering: most constrained (lowest support) first.
+	sort.Slice(exts, func(i, j int) bool {
+		ci, cj := exts[i].tids.Count(), exts[j].tids.Count()
+		if ci != cj {
+			return ci < cj
+		}
+		return exts[i].item < exts[j].item
+	})
+	for i, e := range exts {
+		m.search(head.Add(e.item), e.tids, exts[i+1:])
+		if m.res.Stopped {
+			return
+		}
+	}
+}
+
+// IsMaximal reports whether alpha is maximal in d at minCount: alpha is
+// frequent and no single-item extension is frequent. (Utility for tests.)
+func IsMaximal(d *dataset.Dataset, alpha itemset.Itemset, minCount int) bool {
+	tids := d.TIDSet(alpha)
+	if tids.Count() < minCount {
+		return false
+	}
+	for item := 0; item < d.NumItems(); item++ {
+		if alpha.Contains(item) {
+			continue
+		}
+		if tids.AndCount(d.ItemTIDs(item)) >= minCount {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,240 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical outputs", same)
+	}
+}
+
+func TestZeroSeedWorks(t *testing.T) {
+	r := New(0)
+	var nonZero bool
+	for i := 0; i < 10; i++ {
+		if r.Uint64() != 0 {
+			nonZero = true
+		}
+	}
+	if !nonZero {
+		t.Fatal("zero seed produced all-zero stream")
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for _, n := range []int{1, 2, 3, 10, 1000} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := float64(draws) / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Errorf("bucket %d: got %d, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(5)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleIntsDistinct(t *testing.T) {
+	r := New(9)
+	for trial := 0; trial < 100; trial++ {
+		s := r.SampleInts(20, 7)
+		if len(s) != 7 {
+			t.Fatalf("SampleInts(20,7) returned %d values", len(s))
+		}
+		seen := map[int]bool{}
+		for _, v := range s {
+			if v < 0 || v >= 20 || seen[v] {
+				t.Fatalf("SampleInts returned invalid sample %v", s)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleIntsAllWhenKTooLarge(t *testing.T) {
+	r := New(9)
+	s := r.SampleInts(5, 10)
+	if len(s) != 5 {
+		t.Fatalf("SampleInts(5,10) returned %d values, want 5", len(s))
+	}
+}
+
+func TestSampleIntsUniform(t *testing.T) {
+	r := New(13)
+	counts := make([]int, 10)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range r.SampleInts(10, 3) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 3 / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > 0.06*want {
+			t.Errorf("element %d drawn %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestWeightedIndexProportions(t *testing.T) {
+	r := New(17)
+	weights := []float64{1, 3, 0, 6}
+	counts := make([]int, 4)
+	const trials = 50000
+	for i := 0; i < trials; i++ {
+		counts[r.WeightedIndex(weights)]++
+	}
+	if counts[2] != 0 {
+		t.Errorf("zero-weight index drawn %d times", counts[2])
+	}
+	for i, w := range weights {
+		if w == 0 {
+			continue
+		}
+		want := float64(trials) * w / 10
+		if math.Abs(float64(counts[i])-want) > 0.08*want {
+			t.Errorf("index %d drawn %d times, want ~%.0f", i, counts[i], want)
+		}
+	}
+}
+
+func TestWeightedIndexPanicsOnZeroTotal(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("WeightedIndex with zero total did not panic")
+		}
+	}()
+	New(1).WeightedIndex([]float64{0, -1})
+}
+
+func TestWeightedSampleDistinctAndBounded(t *testing.T) {
+	r := New(19)
+	weights := []float64{5, 0, 2, 8, 1}
+	for trial := 0; trial < 200; trial++ {
+		s := r.WeightedSample(weights, 3)
+		if len(s) != 3 {
+			t.Fatalf("want 3 samples, got %d", len(s))
+		}
+		seen := map[int]bool{}
+		for _, i := range s {
+			if i == 1 {
+				t.Fatal("zero-weight index sampled")
+			}
+			if seen[i] {
+				t.Fatalf("duplicate index %d in %v", i, s)
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestWeightedSampleClampsToPositiveCount(t *testing.T) {
+	r := New(23)
+	s := r.WeightedSample([]float64{1, 0, 2}, 10)
+	if len(s) != 2 {
+		t.Fatalf("want 2 samples (positive weights), got %d", len(s))
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(31)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams matched %d/100 times", same)
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(37)
+	p := []int{1, 2, 3, 4, 5}
+	r.ShuffleInts(p)
+	sum := 0
+	for _, v := range p {
+		sum += v
+	}
+	if sum != 15 {
+		t.Fatalf("shuffle lost elements: %v", p)
+	}
+}

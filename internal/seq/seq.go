@@ -1,0 +1,432 @@
+// Package seq extends Pattern-Fusion to sequence data — the direction the
+// paper closes with ("this paper is an initial effort toward mining
+// colossal frequent patterns in more complicated data, such as sequences
+// and graphs, where the essential idea developed in this paper could be
+// applied", Section 8).
+//
+// The essential idea carries over unchanged: a pattern's identity is its
+// support set, the pattern distance Dist(α,β) = 1 − |Dα∩Dβ|/|Dα∪Dβ| is the
+// same metric, τ-core patterns and the r(τ) ball are defined verbatim. What
+// changes is the pattern algebra:
+//
+//   - a pattern is a *subsequence* (order-preserving, gaps allowed);
+//   - the "fusion" of patterns sharing a support set cannot be a set union —
+//     instead the closure of a support set T is approximated by folding the
+//     longest common subsequence (LCS) over the sequences of T. Multi-way
+//     LCS is NP-hard in general; the left-to-right fold is the standard
+//     heuristic and is exact whenever the common structure is a planted
+//     subsequence, which is the colossal-pattern regime this package
+//     targets.
+//
+// The mining loop mirrors internal/core: an initial pool of short frequent
+// subsequences (1- and 2-grams), then iterative fusion of r(τ)-balls around
+// K random seeds until at most K patterns remain.
+package seq
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/bitset"
+	"repro/internal/rng"
+)
+
+// Sequence is an ordered list of event IDs; repeats are allowed.
+type Sequence []int
+
+// String renders the sequence as "<a b c>".
+func (s Sequence) String() string {
+	var sb strings.Builder
+	sb.WriteByte('<')
+	for i, v := range s {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	sb.WriteByte('>')
+	return sb.String()
+}
+
+// Key returns a canonical map key for the sequence.
+func (s Sequence) Key() string {
+	var sb strings.Builder
+	for i, v := range s {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	return sb.String()
+}
+
+// Equal reports element-wise equality.
+func (s Sequence) Equal(t Sequence) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy.
+func (s Sequence) Clone() Sequence {
+	if s == nil {
+		return nil
+	}
+	c := make(Sequence, len(s))
+	copy(c, s)
+	return c
+}
+
+// IsSubsequenceOf reports whether s is an order-preserving (gaps allowed)
+// subsequence of t. The empty sequence is a subsequence of everything.
+func (s Sequence) IsSubsequenceOf(t Sequence) bool {
+	i := 0
+	for _, v := range t {
+		if i < len(s) && s[i] == v {
+			i++
+		}
+	}
+	return i == len(s)
+}
+
+// LCS returns a longest common subsequence of a and b by dynamic
+// programming (O(|a|·|b|) time and space). Among equally long answers the
+// one following a's earliest matches is returned, which keeps the fold
+// deterministic.
+func LCS(a, b Sequence) Sequence {
+	return WeightedLCS(a, b, func(int) float64 { return 1 })
+}
+
+// WeightedLCS returns a common subsequence of a and b maximizing the total
+// weight of its events (plain LCS when all weights are 1). The closure fold
+// weights each event by its support within the fold's TID set, so that
+// high-support (colossal) events are never traded away for incidental
+// low-support alignments — the failure mode of unweighted LCS folding.
+func WeightedLCS(a, b Sequence, weight func(event int) float64) Sequence {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		return nil
+	}
+	// dp[i][j] = max weight of a common subsequence of a[i:], b[j:].
+	dp := make([][]float64, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			best := dp[i+1][j]
+			if dp[i][j+1] > best {
+				best = dp[i][j+1]
+			}
+			if a[i] == b[j] {
+				if v := dp[i+1][j+1] + weight(a[i]); v > best {
+					best = v
+				}
+			}
+			dp[i][j] = best
+		}
+	}
+	var out Sequence
+	for i, j := 0, 0; i < n && j < m; {
+		switch {
+		case a[i] == b[j] && dp[i][j] == dp[i+1][j+1]+weight(a[i]):
+			out = append(out, a[i])
+			i++
+			j++
+		case dp[i][j] == dp[i+1][j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}
+
+// Dataset is an immutable collection of sequences with a per-event inverted
+// index for fast support-set computation of short patterns.
+type Dataset struct {
+	seqs      []Sequence
+	numEvents int
+	eventTIDs []*bitset.Bitset // eventTIDs[e] = sequences containing event e
+}
+
+// NewDataset builds a sequence dataset. Event IDs must be non-negative.
+func NewDataset(seqs []Sequence) (*Dataset, error) {
+	d := &Dataset{seqs: make([]Sequence, len(seqs))}
+	maxEvent := -1
+	for i, s := range seqs {
+		for _, e := range s {
+			if e < 0 {
+				return nil, fmt.Errorf("seq: sequence %d has negative event %d", i, e)
+			}
+			if e > maxEvent {
+				maxEvent = e
+			}
+		}
+		d.seqs[i] = s.Clone()
+	}
+	d.numEvents = maxEvent + 1
+	d.eventTIDs = make([]*bitset.Bitset, d.numEvents)
+	for e := range d.eventTIDs {
+		d.eventTIDs[e] = bitset.New(len(seqs))
+	}
+	for tid, s := range d.seqs {
+		for _, e := range s {
+			d.eventTIDs[e].Set(tid)
+		}
+	}
+	return d, nil
+}
+
+// MustNewDataset is NewDataset but panics on error.
+func MustNewDataset(seqs []Sequence) *Dataset {
+	d, err := NewDataset(seqs)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Size returns the number of sequences.
+func (d *Dataset) Size() int { return len(d.seqs) }
+
+// NumEvents returns the event universe size.
+func (d *Dataset) NumEvents() int { return d.numEvents }
+
+// Seq returns sequence tid.
+func (d *Dataset) Seq(tid int) Sequence { return d.seqs[tid] }
+
+// TIDSet returns the support set of pattern p: the sequences containing p
+// as a subsequence. The per-event index prunes the candidates; each
+// survivor is verified with the order-preserving containment test.
+func (d *Dataset) TIDSet(p Sequence) *bitset.Bitset {
+	out := bitset.New(len(d.seqs))
+	if len(p) == 0 {
+		out.SetAll()
+		return out
+	}
+	cand := bitset.New(len(d.seqs))
+	cand.SetAll()
+	for _, e := range p {
+		if e >= d.numEvents {
+			return out
+		}
+		cand.InPlaceAnd(d.eventTIDs[e])
+	}
+	cand.ForEach(func(tid int) {
+		if p.IsSubsequenceOf(d.seqs[tid]) {
+			out.Set(tid)
+		}
+	})
+	return out
+}
+
+// SupportCount returns |D_p|.
+func (d *Dataset) SupportCount(p Sequence) int { return d.TIDSet(p).Count() }
+
+// FoldClosure approximates the closure of a support set: the heaviest
+// sequence common to every sequence in tids, computed by folding the
+// weighted LCS left to right with each event weighted by its support
+// within tids. It returns nil for an empty tids.
+func (d *Dataset) FoldClosure(tids *bitset.Bitset) Sequence {
+	first := tids.NextSet(0)
+	if first < 0 {
+		return nil
+	}
+	weight := func(e int) float64 { return float64(d.eventTIDs[e].AndCount(tids)) }
+	acc := d.seqs[first].Clone()
+	for tid := tids.NextSet(first + 1); tid >= 0 && len(acc) > 0; tid = tids.NextSet(tid + 1) {
+		acc = WeightedLCS(acc, d.seqs[tid], weight)
+	}
+	return acc
+}
+
+// Pattern is a subsequence pattern with its support set.
+type Pattern struct {
+	Seq  Sequence
+	TIDs *bitset.Bitset
+}
+
+// Support returns |D_p|.
+func (p *Pattern) Support() int { return p.TIDs.Count() }
+
+// String renders the pattern as "<...>:support".
+func (p *Pattern) String() string { return fmt.Sprintf("%v:%d", p.Seq, p.Support()) }
+
+// Config parameterizes a sequence Pattern-Fusion run.
+type Config struct {
+	K             int     // maximum number of patterns to mine
+	Tau           float64 // core ratio τ ∈ (0,1]
+	MinCount      int     // absolute minimum support count
+	MaxBallSize   int     // bound on the per-seed CoreList (0 = unbounded)
+	MaxIterations int
+	Seed          uint64
+}
+
+// DefaultConfig mirrors the itemset defaults.
+func DefaultConfig(k, minCount int) Config {
+	return Config{K: k, Tau: 0.5, MinCount: minCount, MaxBallSize: 1024, MaxIterations: 32, Seed: 1}
+}
+
+// Result is the outcome of a sequence Pattern-Fusion run.
+type Result struct {
+	Patterns     []*Pattern
+	InitPoolSize int
+	Iterations   int
+}
+
+// Mine runs Pattern-Fusion for sequences: the initial pool is the complete
+// set of frequent 1- and 2-grams (contiguous bigrams suffice to seed the
+// balls: every colossal subsequence contains many frequent bigrams), then
+// iterative ball fusion via support-set closures.
+func Mine(d *Dataset, cfg Config) (*Result, error) {
+	if cfg.K < 1 {
+		return nil, fmt.Errorf("seq: K must be >= 1, got %d", cfg.K)
+	}
+	if cfg.Tau <= 0 || cfg.Tau > 1 {
+		return nil, fmt.Errorf("seq: Tau must be in (0,1], got %v", cfg.Tau)
+	}
+	if cfg.MinCount < 1 {
+		cfg.MinCount = 1
+	}
+	if cfg.MaxIterations < 1 {
+		cfg.MaxIterations = 32
+	}
+	r := rng.New(cfg.Seed)
+	res := &Result{}
+
+	pool := initialPool(d, cfg.MinCount)
+	res.InitPoolSize = len(pool)
+	radius := 1 - 1/(2/cfg.Tau-1)
+
+	prevKey := poolKey(pool)
+	for len(pool) > cfg.K && res.Iterations < cfg.MaxIterations {
+		pool = fusionStep(d, pool, cfg, radius, r)
+		res.Iterations++
+		key := poolKey(pool)
+		if key == prevKey {
+			break
+		}
+		prevKey = key
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if len(pool[i].Seq) != len(pool[j].Seq) {
+			return len(pool[i].Seq) > len(pool[j].Seq)
+		}
+		return pool[i].Seq.Key() < pool[j].Seq.Key()
+	})
+	if len(pool) > cfg.K {
+		pool = pool[:cfg.K]
+	}
+	res.Patterns = pool
+	return res, nil
+}
+
+// initialPool mines all frequent unigrams and contiguous bigrams.
+func initialPool(d *Dataset, minCount int) []*Pattern {
+	var pool []*Pattern
+	seen := make(map[string]bool)
+	for e := 0; e < d.numEvents; e++ {
+		if d.eventTIDs[e].Count() >= minCount {
+			p := Sequence{e}
+			pool = append(pool, &Pattern{Seq: p, TIDs: d.TIDSet(p)})
+			seen[p.Key()] = true
+		}
+	}
+	for tid := 0; tid < d.Size(); tid++ {
+		s := d.seqs[tid]
+		for i := 0; i+1 < len(s); i++ {
+			bi := Sequence{s[i], s[i+1]}
+			if seen[bi.Key()] {
+				continue
+			}
+			seen[bi.Key()] = true
+			tids := d.TIDSet(bi)
+			if tids.Count() >= minCount {
+				pool = append(pool, &Pattern{Seq: bi, TIDs: tids})
+			}
+		}
+	}
+	return pool
+}
+
+func fusionStep(d *Dataset, pool []*Pattern, cfg Config, radius float64, r *rng.RNG) []*Pattern {
+	next := make(map[string]*Pattern)
+	add := func(p *Pattern) {
+		if len(p.Seq) == 0 {
+			return
+		}
+		next[p.Seq.Key()] = p
+	}
+	for _, si := range r.SampleInts(len(pool), cfg.K) {
+		seed := pool[si]
+		// Seed closure: the longest subsequence common to the seed's
+		// support set (the exact analogue of itemset closure).
+		if c := d.FoldClosure(seed.TIDs); len(c) > 0 {
+			add(&Pattern{Seq: c, TIDs: seed.TIDs.Clone()})
+		}
+		// Ball fusion: intersect support sets of in-ball members while the
+		// result stays frequent and every member stays a τ-core of it, then
+		// close the fused support set.
+		var ball []*Pattern
+		for _, p := range pool {
+			if p != seed && seed.TIDs.Distance(p.TIDs) <= radius {
+				ball = append(ball, p)
+			}
+		}
+		if cfg.MaxBallSize > 0 && len(ball) > cfg.MaxBallSize {
+			sampled := make([]*Pattern, 0, cfg.MaxBallSize)
+			for _, i := range r.SampleInts(len(ball), cfg.MaxBallSize) {
+				sampled = append(sampled, ball[i])
+			}
+			ball = sampled
+		}
+		order := r.Perm(len(ball))
+		tids := seed.TIDs.Clone()
+		maxSup := tids.Count()
+		for _, bi := range order {
+			b := ball[bi]
+			nsup := tids.AndCount(b.TIDs)
+			if nsup < cfg.MinCount {
+				continue
+			}
+			limit := maxSup
+			if s := b.Support(); s > limit {
+				limit = s
+			}
+			if float64(nsup) < cfg.Tau*float64(limit) {
+				continue
+			}
+			tids.InPlaceAnd(b.TIDs)
+			if s := b.Support(); s > maxSup {
+				maxSup = s
+			}
+		}
+		if c := d.FoldClosure(tids); len(c) > 0 {
+			add(&Pattern{Seq: c, TIDs: d.TIDSet(c)})
+		}
+	}
+	out := make([]*Pattern, 0, len(next))
+	for _, p := range next {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq.Key() < out[j].Seq.Key() })
+	return out
+}
+
+func poolKey(pool []*Pattern) string {
+	keys := make([]string, len(pool))
+	for i, p := range pool {
+		keys[i] = p.Seq.Key()
+	}
+	sort.Strings(keys)
+	return strings.Join(keys, ";")
+}

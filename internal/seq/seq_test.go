@@ -1,0 +1,241 @@
+package seq
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestIsSubsequenceOf(t *testing.T) {
+	cases := []struct {
+		s, t Sequence
+		want bool
+	}{
+		{nil, Sequence{1, 2}, true},
+		{Sequence{1}, Sequence{1}, true},
+		{Sequence{1, 3}, Sequence{1, 2, 3}, true},
+		{Sequence{3, 1}, Sequence{1, 2, 3}, false},
+		{Sequence{1, 1}, Sequence{1, 2, 1}, true},
+		{Sequence{1, 1}, Sequence{1}, false},
+		{Sequence{2}, Sequence{1, 3}, false},
+	}
+	for _, c := range cases {
+		if got := c.s.IsSubsequenceOf(c.t); got != c.want {
+			t.Errorf("%v ⊑ %v = %v, want %v", c.s, c.t, got, c.want)
+		}
+	}
+}
+
+func TestLCSBasics(t *testing.T) {
+	cases := []struct {
+		a, b, want Sequence
+	}{
+		{Sequence{1, 2, 3}, Sequence{1, 2, 3}, Sequence{1, 2, 3}},
+		{Sequence{1, 2, 3}, Sequence{2, 3, 4}, Sequence{2, 3}},
+		{Sequence{1, 2}, Sequence{3, 4}, nil},
+		{nil, Sequence{1}, nil},
+		{Sequence{1, 3, 5, 7}, Sequence{0, 1, 2, 3, 4, 5}, Sequence{1, 3, 5}},
+	}
+	for _, c := range cases {
+		got := LCS(c.a, c.b)
+		if !got.Equal(c.want) {
+			t.Errorf("LCS(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func randomSeq(r *rng.RNG, maxLen, alphabet int) Sequence {
+	l := r.Intn(maxLen + 1)
+	s := make(Sequence, l)
+	for i := range s {
+		s[i] = r.Intn(alphabet)
+	}
+	return s
+}
+
+func TestLCSPropertiesQuick(t *testing.T) {
+	r := rng.New(99)
+	err := quick.Check(func(seedA, seedB uint64) bool {
+		a := randomSeq(rng.New(seedA), 12, 5)
+		b := randomSeq(rng.New(seedB), 12, 5)
+		l := LCS(a, b)
+		// The LCS is a subsequence of both inputs.
+		if !l.IsSubsequenceOf(a) || !l.IsSubsequenceOf(b) {
+			return false
+		}
+		// Symmetric in length.
+		if len(LCS(b, a)) != len(l) {
+			return false
+		}
+		// No longer than either input; equal to a when a ⊑ b.
+		if len(l) > len(a) || len(l) > len(b) {
+			return false
+		}
+		if a.IsSubsequenceOf(b) && !l.Equal(a) {
+			return false
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestDatasetSupport(t *testing.T) {
+	d := MustNewDataset([]Sequence{
+		{1, 2, 3, 4},
+		{1, 3, 4},
+		{2, 1, 4},
+		{4, 3, 2, 1},
+	})
+	cases := []struct {
+		p    Sequence
+		want int
+	}{
+		{Sequence{1}, 4},
+		{Sequence{1, 4}, 3}, // not in <4 3 2 1>
+		{Sequence{4, 1}, 1}, // only <4 3 2 1> has 4 before 1
+		{Sequence{1, 2, 3, 4}, 1},
+		{Sequence{9}, 0},
+		{nil, 4},
+	}
+	for _, c := range cases {
+		if got := d.SupportCount(c.p); got != c.want {
+			t.Errorf("support(%v) = %d, want %d", c.p, got, c.want)
+		}
+	}
+}
+
+func TestDatasetRejectsNegative(t *testing.T) {
+	if _, err := NewDataset([]Sequence{{1, -1}}); err == nil {
+		t.Fatal("negative event accepted")
+	}
+}
+
+func TestFoldClosure(t *testing.T) {
+	d := MustNewDataset([]Sequence{
+		{9, 1, 2, 3, 8},
+		{1, 7, 2, 3},
+		{0, 1, 2, 6, 3},
+	})
+	tids := d.TIDSet(Sequence{1, 2})
+	if tids.Count() != 3 {
+		t.Fatalf("support(1 2) = %d", tids.Count())
+	}
+	c := d.FoldClosure(tids)
+	if !c.Equal(Sequence{1, 2, 3}) {
+		t.Fatalf("closure = %v, want <1 2 3>", c)
+	}
+}
+
+// plantedDataset builds numSeqs sequences; frac of them embed the colossal
+// subsequence (with random noise events interleaved), the rest are noise.
+func plantedDataset(r *rng.RNG, numSeqs int, colossal Sequence, frac float64, alphabet int) *Dataset {
+	seqs := make([]Sequence, numSeqs)
+	for i := range seqs {
+		var s Sequence
+		if r.Float64() < frac {
+			for _, e := range colossal {
+				// Interleave 0-2 noise events before each colossal event.
+				for k := r.Intn(3); k > 0; k-- {
+					s = append(s, colossal[len(colossal)-1]+1+r.Intn(alphabet))
+				}
+				s = append(s, e)
+			}
+		} else {
+			l := 3 + r.Intn(10)
+			for j := 0; j < l; j++ {
+				s = append(s, colossal[len(colossal)-1]+1+r.Intn(alphabet))
+			}
+		}
+		seqs[i] = s
+	}
+	return MustNewDataset(seqs)
+}
+
+func TestMineRecoversPlantedColossalSequence(t *testing.T) {
+	r := rng.New(5)
+	colossal := Sequence{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}
+	d := plantedDataset(r, 120, colossal, 0.4, 30)
+	cfg := DefaultConfig(10, 30)
+	res, err := Mine(d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range res.Patterns {
+		if p.Seq.Equal(colossal) {
+			found = true
+			if p.Support() < 30 {
+				t.Fatalf("colossal support %d below threshold", p.Support())
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("colossal subsequence not recovered; got %v", res.Patterns)
+	}
+	if len(res.Patterns) > cfg.K {
+		t.Fatalf("result exceeds K: %d", len(res.Patterns))
+	}
+}
+
+func TestMineResultsAreFrequentSubsequences(t *testing.T) {
+	r := rng.New(6)
+	colossal := Sequence{0, 1, 2, 3, 4, 5, 6, 7}
+	d := plantedDataset(r, 80, colossal, 0.5, 20)
+	res, err := Mine(d, DefaultConfig(8, 20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Patterns {
+		tids := d.TIDSet(p.Seq)
+		if !tids.Equal(p.TIDs) {
+			t.Fatalf("pattern %v carries wrong support set", p.Seq)
+		}
+		if tids.Count() < 20 {
+			t.Fatalf("infrequent pattern %v (support %d)", p.Seq, tids.Count())
+		}
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	d := MustNewDataset([]Sequence{{1, 2}})
+	if _, err := Mine(d, Config{K: 0, Tau: 0.5, MinCount: 1}); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if _, err := Mine(d, Config{K: 1, Tau: 0, MinCount: 1}); err == nil {
+		t.Error("Tau=0 accepted")
+	}
+}
+
+func TestMineEmptyDataset(t *testing.T) {
+	d := MustNewDataset(nil)
+	res, err := Mine(d, DefaultConfig(5, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Patterns) != 0 {
+		t.Fatalf("empty dataset yielded %d patterns", len(res.Patterns))
+	}
+}
+
+func TestMineDeterministic(t *testing.T) {
+	r := rng.New(7)
+	d := plantedDataset(r, 60, Sequence{0, 1, 2, 3, 4}, 0.5, 15)
+	run := func() string {
+		res, err := Mine(d, DefaultConfig(5, 15))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ""
+		for _, p := range res.Patterns {
+			out += p.Seq.Key() + ";"
+		}
+		return out
+	}
+	if run() != run() {
+		t.Fatal("mining not deterministic for a fixed seed")
+	}
+}

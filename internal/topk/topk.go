@@ -1,0 +1,199 @@
+// Package topk mines the top-k most frequent closed itemsets with a minimum
+// length constraint — the TFP algorithm of Wang, Han, Lu & Tzvetkov (TKDE
+// 2005), the third baseline of the paper's Figure 10.
+//
+// TFP starts with no (or a floor) support threshold and raises it
+// dynamically: once k closed patterns of length ≥ MinLength are in hand, the
+// internal threshold becomes the k-th best support, pruning everything that
+// can no longer enter the answer. The closed enumeration reuses the
+// prefix-preserving closure extension of package charm, but visits
+// extensions in descending support order so the threshold rises fast.
+package topk
+
+import (
+	"container/heap"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/charm"
+	"repro/internal/dataset"
+	"repro/internal/itemset"
+)
+
+// Options configures a mining run.
+type Options struct {
+	K         int         // number of patterns to report (> 0)
+	MinLength int         // only patterns with at least this many items qualify
+	FloorMin  int         // optional support floor; the threshold never goes below it (≥ 1)
+	Canceled  func() bool // optional cooperative cancellation
+}
+
+// Result is the outcome of a mining run.
+type Result struct {
+	Patterns []*dataset.Pattern // at most K closed patterns, by descending support
+	MinCount int                // final (raised) internal support threshold
+	Visited  int                // search nodes explored
+	Stopped  bool
+}
+
+// Mine returns the top-k closed patterns of d with at least minLength items.
+func Mine(d *dataset.Dataset, k, minLength int) *Result {
+	return MineOpts(d, Options{K: k, MinLength: minLength})
+}
+
+// MineOpts runs TFP under the given options.
+func MineOpts(d *dataset.Dataset, opts Options) *Result {
+	if opts.K < 1 {
+		opts.K = 1
+	}
+	if opts.FloorMin < 1 {
+		opts.FloorMin = 1
+	}
+	res := &Result{MinCount: opts.FloorMin}
+	if d.Size() < opts.FloorMin {
+		return res
+	}
+	m := &miner{d: d, opts: opts, res: res, minCount: opts.FloorMin}
+
+	all := bitset.New(d.Size())
+	all.SetAll()
+	c0 := charm.ClosureOf(d, all)
+	m.offer(c0, all)
+	m.extend(c0, all, -1)
+
+	out := make([]*dataset.Pattern, len(m.heap))
+	copy(out, m.heap)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := out[i].Support(), out[j].Support()
+		if si != sj {
+			return si > sj
+		}
+		return itemset.Compare(out[i].Items, out[j].Items) < 0
+	})
+	res.Patterns = out
+	res.MinCount = m.minCount
+	res.Visited = m.visited
+	return res
+}
+
+type miner struct {
+	d        *dataset.Dataset
+	opts     Options
+	res      *Result
+	minCount int
+	visited  int
+	heap     patternHeap // min-heap on support of the current best ≤ K qualifying patterns
+}
+
+func (m *miner) canceled() bool {
+	if m.opts.Canceled != nil && m.opts.Canceled() {
+		m.res.Stopped = true
+		return true
+	}
+	return m.res.Stopped
+}
+
+// offer considers a closed pattern for the top-k answer and raises the
+// internal threshold when the answer set is full.
+func (m *miner) offer(c itemset.Itemset, tids *bitset.Bitset) {
+	if len(c) < m.opts.MinLength || len(c) == 0 {
+		return
+	}
+	sup := tids.Count()
+	if len(m.heap) == m.opts.K && sup <= m.heap[0].Support() {
+		return
+	}
+	heap.Push(&m.heap, &dataset.Pattern{Items: c, TIDs: tids.Clone()})
+	if len(m.heap) > m.opts.K {
+		heap.Pop(&m.heap)
+	}
+	if len(m.heap) == m.opts.K {
+		if t := m.heap[0].Support(); t > m.minCount {
+			m.minCount = t
+		}
+	}
+}
+
+// extend is the ppc-ext closed enumeration with dynamic threshold raising.
+// Extensions are tried in descending support order so high-support closed
+// patterns are found early.
+func (m *miner) extend(c itemset.Itemset, tids *bitset.Bitset, core int) {
+	if m.canceled() {
+		return
+	}
+	m.visited++
+
+	type cand struct {
+		item int
+		sub  *bitset.Bitset
+		sup  int
+	}
+	var cands []cand
+	for i := core + 1; i < m.d.NumItems(); i++ {
+		if c.Contains(i) {
+			continue
+		}
+		sub := tids.And(m.d.ItemTIDs(i))
+		if sup := sub.Count(); sup >= m.minCount {
+			cands = append(cands, cand{item: i, sub: sub, sup: sup})
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].sup != cands[b].sup {
+			return cands[a].sup > cands[b].sup
+		}
+		return cands[a].item < cands[b].item
+	})
+	for _, cd := range cands {
+		// The threshold may have risen since the candidate was gathered.
+		if cd.sup < m.minCount {
+			continue
+		}
+		cc := charm.ClosureOf(m.d, cd.sub)
+		if !prefixPreserved(c, cc, cd.item) {
+			continue
+		}
+		m.offer(cc, cd.sub)
+		m.extend(cc, cd.sub, cd.item)
+		if m.res.Stopped {
+			return
+		}
+	}
+}
+
+func prefixPreserved(c, cc itemset.Itemset, i int) bool {
+	for _, v := range cc {
+		if v >= i {
+			break
+		}
+		if !c.Contains(v) {
+			return false
+		}
+	}
+	return true
+}
+
+// patternHeap is a min-heap on support (ties: larger patterns evicted last,
+// then lexicographic order for determinism).
+type patternHeap []*dataset.Pattern
+
+func (h patternHeap) Len() int { return len(h) }
+func (h patternHeap) Less(i, j int) bool {
+	si, sj := h[i].Support(), h[j].Support()
+	if si != sj {
+		return si < sj
+	}
+	if len(h[i].Items) != len(h[j].Items) {
+		return len(h[i].Items) < len(h[j].Items)
+	}
+	return itemset.Compare(h[i].Items, h[j].Items) > 0
+}
+func (h patternHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *patternHeap) Push(x interface{}) { *h = append(*h, x.(*dataset.Pattern)) }
+func (h *patternHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

@@ -1,0 +1,200 @@
+package patternfusion
+
+import (
+	"io"
+
+	"repro/internal/apriori"
+	"repro/internal/carpenter"
+	"repro/internal/charm"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/eclat"
+	"repro/internal/fpgrowth"
+	"repro/internal/itemset"
+	"repro/internal/maximal"
+	"repro/internal/quality"
+	"repro/internal/rng"
+	"repro/internal/topk"
+)
+
+// Dataset is an immutable transaction database over non-negative integer
+// item IDs, holding both horizontal (transactions) and vertical (per-item
+// TID bitset) representations.
+type Dataset = dataset.Dataset
+
+// Pattern is a frequent itemset paired with its support set.
+type Pattern = dataset.Pattern
+
+// Itemset is a canonical (strictly increasing) set of item IDs.
+type Itemset = itemset.Itemset
+
+// Stats summarizes a dataset.
+type Stats = dataset.Stats
+
+// New builds a Dataset from raw transactions; each transaction is
+// canonicalized. Item IDs must be non-negative.
+func New(transactions [][]int) (*Dataset, error) { return dataset.New(transactions) }
+
+// Load reads a FIMI-format transaction database (one transaction per line,
+// whitespace-separated item IDs) from the named file.
+func Load(path string) (*Dataset, error) { return dataset.Load(path) }
+
+// Read parses a FIMI-format transaction database from r.
+func Read(r io.Reader) (*Dataset, error) { return dataset.Read(r) }
+
+// Canonical returns the sorted, duplicate-free itemset of raw.
+func Canonical(raw []int) Itemset { return itemset.Canonical(raw) }
+
+// EditDistance is the itemset edit distance Edit(α,β) = |α∪β| − |α∩β|
+// (Definition 8 of the paper).
+func EditDistance(a, b Itemset) int { return itemset.EditDistance(a, b) }
+
+// ---------------------------------------------------------------------------
+// Pattern-Fusion (the paper's contribution).
+
+// Config parameterizes a Pattern-Fusion run; see DefaultConfig.
+type Config = core.Config
+
+// Result is the outcome of a Pattern-Fusion run.
+type Result = core.Result
+
+// DefaultConfig returns a Pattern-Fusion configuration mining at most k
+// patterns at relative minimum support sigma, with the defaults used
+// throughout the paper's experiments (τ = 0.5, initial pool of patterns up
+// to size 3).
+func DefaultConfig(k int, sigma float64) Config { return core.DefaultConfig(k, sigma) }
+
+// Mine runs Pattern-Fusion on d: phase 1 mines the complete set of small
+// frequent patterns (the initial pool), phase 2 iteratively fuses the balls
+// around K random seeds until at most K patterns remain. The result
+// approximates the colossal frequent patterns of d.
+func Mine(d *Dataset, cfg Config) (*Result, error) { return core.Mine(d, cfg) }
+
+// MineFromPool runs Pattern-Fusion phase 2 from a caller-supplied pool.
+func MineFromPool(d *Dataset, pool []*Pattern, cfg Config) (*Result, error) {
+	return core.MineFromPool(d, pool, cfg)
+}
+
+// Radius returns the ball radius r(τ) = 1 − 1/(2/τ − 1) of Theorem 2.
+func Radius(tau float64) float64 { return core.Radius(tau) }
+
+// IsCore reports whether beta is a τ-core pattern of alpha (Definition 3).
+func IsCore(d *Dataset, beta, alpha Itemset, tau float64) bool {
+	return core.IsCore(d, beta, alpha, tau)
+}
+
+// CorePatterns enumerates the τ-core patterns of alpha (small alpha only).
+func CorePatterns(d *Dataset, alpha Itemset, tau float64) []Itemset {
+	return core.CorePatterns(d, alpha, tau)
+}
+
+// Robustness returns the d of (d,τ)-robustness (Definition 4).
+func Robustness(d *Dataset, alpha Itemset, tau float64) int {
+	return core.Robustness(d, alpha, tau)
+}
+
+// ---------------------------------------------------------------------------
+// Exact miners (baselines and ground-truth builders).
+
+// MineFrequent returns the complete set of frequent patterns of d at the
+// given absolute support count, mined with Apriori.
+func MineFrequent(d *Dataset, minCount int) []*Pattern {
+	return apriori.Mine(d, minCount).Patterns
+}
+
+// MineFrequentUpTo returns the complete set of frequent patterns of size at
+// most maxSize — Pattern-Fusion's initial pool.
+func MineFrequentUpTo(d *Dataset, minCount, maxSize int) []*Pattern {
+	return apriori.MineUpTo(d, minCount, maxSize).Patterns
+}
+
+// MineFrequentFP returns the complete frequent itemsets with their support
+// counts, mined with FP-growth.
+func MineFrequentFP(d *Dataset, minCount int) []fpgrowth.ItemsetCount {
+	return fpgrowth.Mine(d, minCount).Itemsets
+}
+
+// MineFrequentEclat returns the complete frequent patterns mined with the
+// vertical Eclat algorithm.
+func MineFrequentEclat(d *Dataset, minCount int) []*Pattern {
+	return eclat.Mine(d, minCount).Patterns
+}
+
+// MineClosed returns the complete set of closed frequent patterns of d.
+func MineClosed(d *Dataset, minCount int) []*Pattern {
+	return charm.Mine(d, minCount).Patterns
+}
+
+// MineClosedRows returns the closed frequent patterns of size at least
+// minSize using CARPENTER-style row enumeration — the method of choice for
+// datasets with few transactions and very many items (e.g. microarrays).
+func MineClosedRows(d *Dataset, minCount, minSize int) []*Pattern {
+	return carpenter.Mine(d, minCount, minSize).Patterns
+}
+
+// MineMaximal returns the complete set of maximal frequent patterns of d.
+func MineMaximal(d *Dataset, minCount int) []*Pattern {
+	return maximal.Mine(d, minCount).Patterns
+}
+
+// MineTopK returns the top-k most frequent closed patterns with at least
+// minLength items (the TFP algorithm).
+func MineTopK(d *Dataset, k, minLength int) []*Pattern {
+	return topk.Mine(d, k, minLength).Patterns
+}
+
+// IsClosed reports whether alpha is a closed pattern of d.
+func IsClosed(d *Dataset, alpha Itemset) bool { return charm.IsClosed(d, alpha) }
+
+// IsMaximal reports whether alpha is a maximal frequent pattern of d.
+func IsMaximal(d *Dataset, alpha Itemset, minCount int) bool {
+	return maximal.IsMaximal(d, alpha, minCount)
+}
+
+// Itemsets projects patterns to their itemsets.
+func Itemsets(ps []*Pattern) []Itemset { return dataset.Itemsets(ps) }
+
+// ---------------------------------------------------------------------------
+// Quality evaluation model (Section 5).
+
+// Approximation is the evaluation A_P^Q of a result set P against a
+// complete set Q.
+type Approximation = quality.Approximation
+
+// Evaluate computes the approximation of P with respect to Q
+// (Definitions 9 and 10).
+func Evaluate(p, q []Itemset) *Approximation { return quality.Evaluate(p, q) }
+
+// Delta returns the approximation error Δ(A_P^Q).
+func Delta(p, q []Itemset) float64 { return quality.Delta(p, q) }
+
+// ---------------------------------------------------------------------------
+// Dataset generators (Section 6 workloads).
+
+// Diag builds the synthetic Diag_n dataset: n rows, row i containing every
+// item of {0,…,n−1} except i.
+func Diag(n int) *Dataset { return datagen.Diag(n) }
+
+// DiagPlus builds the paper's motivating example: Diag_n plus extraRows
+// identical rows of extraWidth fresh items.
+func DiagPlus(n, extraRows, extraWidth int) *Dataset {
+	return datagen.DiagPlus(n, extraRows, extraWidth)
+}
+
+// ReplaceSim generates the Replace program-trace simulator dataset and its
+// three planted size-44 colossal patterns.
+func ReplaceSim(seed uint64) (*Dataset, []Itemset) { return datagen.Replace(seed) }
+
+// MicroarraySim generates the ALL-leukemia microarray simulator dataset
+// (38 rows × 866 items over a 1,736-item universe).
+func MicroarraySim(seed uint64) *Dataset {
+	d, _ := datagen.Microarray(seed)
+	return d
+}
+
+// RandomDB generates a random transaction database where each of numItems
+// items appears in each of numTxns transactions with probability density.
+func RandomDB(seed uint64, numTxns, numItems int, density float64) *Dataset {
+	return datagen.Random(rng.New(seed), numTxns, numItems, density)
+}

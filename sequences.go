@@ -1,0 +1,35 @@
+package patternfusion
+
+import "repro/internal/seq"
+
+// The sequence extension (the paper's Section 8 future-work direction):
+// Pattern-Fusion over subsequence patterns, with support-set closures
+// computed by weighted-LCS folding. See internal/seq for the full design
+// discussion.
+
+// Sequence is an ordered list of event IDs.
+type Sequence = seq.Sequence
+
+// SeqDataset is an immutable collection of sequences.
+type SeqDataset = seq.Dataset
+
+// SeqPattern is a subsequence pattern with its support set.
+type SeqPattern = seq.Pattern
+
+// SeqConfig parameterizes a sequence Pattern-Fusion run.
+type SeqConfig = seq.Config
+
+// SeqResult is the outcome of a sequence Pattern-Fusion run.
+type SeqResult = seq.Result
+
+// NewSeqDataset builds a sequence dataset; event IDs must be non-negative.
+func NewSeqDataset(seqs []Sequence) (*SeqDataset, error) { return seq.NewDataset(seqs) }
+
+// DefaultSeqConfig mirrors the itemset defaults for sequence mining.
+func DefaultSeqConfig(k, minCount int) SeqConfig { return seq.DefaultConfig(k, minCount) }
+
+// MineSequences runs Pattern-Fusion for colossal subsequence patterns.
+func MineSequences(d *SeqDataset, cfg SeqConfig) (*SeqResult, error) { return seq.Mine(d, cfg) }
+
+// LCS returns a longest common subsequence of a and b.
+func LCS(a, b Sequence) Sequence { return seq.LCS(a, b) }
