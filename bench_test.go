@@ -7,6 +7,7 @@
 package patternfusion_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
@@ -331,6 +332,52 @@ func BenchmarkAblationElitism(b *testing.B) {
 			ablationRun(b, func(c *core.Config) { c.Elitism = e })
 		})
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Parallel fusion engine: sequential vs. parallel throughput of the same
+// deterministic mining run. The `p=1` and `p=N` sub-benchmarks execute
+// bit-identical work (core.Config.Parallelism does not change results), so
+// their ns/op ratio is the engine's wall-clock speedup on this machine.
+
+func benchMineParallelism(b *testing.B, d *dataset.Dataset, mkCfg func() core.Config) {
+	parallel := runtime.GOMAXPROCS(0)
+	if parallel < 2 {
+		parallel = 2 // exercise the worker pool even on a single-core machine
+	}
+	for _, par := range []int{1, parallel} {
+		b.Run("p="+itoa(par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := mkCfg()
+				cfg.Parallelism = par
+				if _, err := core.Mine(d, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMineReplace(b *testing.B) {
+	d, _, _ := replaceFixture(b)
+	b.ResetTimer()
+	benchMineParallelism(b, d, func() core.Config {
+		cfg := core.DefaultConfig(100, 0.03)
+		cfg.Seed = 1
+		return cfg
+	})
+}
+
+func BenchmarkMineMicroarray(b *testing.B) {
+	d, _ := microFixture(b)
+	b.ResetTimer()
+	benchMineParallelism(b, d, func() core.Config {
+		cfg := core.DefaultConfig(100, 0)
+		cfg.MinCount = 25
+		cfg.InitPoolMaxSize = 2
+		cfg.Seed = 1
+		return cfg
+	})
 }
 
 // ---------------------------------------------------------------------------

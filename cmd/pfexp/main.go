@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
@@ -33,6 +34,7 @@ func main() {
 	fig := flag.String("fig", "all", "experiment to run: intro, 3, 5, 6, 7, 8, 9, 10, ablation, or all")
 	budget := flag.Duration("budget", 2*time.Second, "per-point time budget for exact miners")
 	seed := flag.Uint64("seed", 1, "random seed")
+	par := flag.Int("parallelism", runtime.GOMAXPROCS(0), "experiment cells and fusion workers run concurrently (results are identical for any value; use 1 for contention-free per-cell timings)")
 	flag.StringVar(&csvDir, "csv", "", "also write each figure's data as CSV into this directory")
 	flag.Parse()
 	if csvDir != "" {
@@ -54,20 +56,21 @@ func main() {
 		fmt.Println()
 	}
 
-	run("intro", func() error { return runIntro(*budget, *seed) })
+	run("intro", func() error { return runIntro(*budget, *seed, *par) })
 	run("3", runFig3)
 	run("5", runFig5)
-	run("6", func() error { return runFig6(*budget, *seed) })
-	run("7", func() error { return runFig7(*seed) })
-	run("8", func() error { return runFig8(*seed) })
-	run("9", func() error { return runFig9(*seed) })
-	run("10", func() error { return runFig10(*budget, *seed) })
-	run("ablation", func() error { return runAblations(*seed) })
+	run("6", func() error { return runFig6(*budget, *seed, *par) })
+	run("7", func() error { return runFig7(*seed, *par) })
+	run("8", func() error { return runFig8(*seed, *par) })
+	run("9", func() error { return runFig9(*seed, *par) })
+	run("10", func() error { return runFig10(*budget, *seed, *par) })
+	run("ablation", func() error { return runAblations(*seed, *par) })
 }
 
-func runAblations(seed uint64) error {
+func runAblations(seed uint64, par int) error {
 	cfg := experiments.DefaultAblationConfig()
 	cfg.Seed = seed
+	cfg.Parallelism = par
 	groups, err := experiments.Ablations(cfg)
 	if err != nil {
 		return err
@@ -129,8 +132,8 @@ func title(name string) string {
 	return name
 }
 
-func runIntro(budget time.Duration, seed uint64) error {
-	res, err := experiments.Intro(budget, seed)
+func runIntro(budget time.Duration, seed uint64, par int) error {
+	res, err := experiments.Intro(budget, seed, par)
 	if err != nil {
 		return err
 	}
@@ -197,10 +200,11 @@ func runFig5() error {
 	return nil
 }
 
-func runFig6(budget time.Duration, seed uint64) error {
+func runFig6(budget time.Duration, seed uint64, par int) error {
 	cfg := experiments.DefaultFig6Config()
 	cfg.Budget = budget
 	cfg.Seed = seed
+	cfg.Parallelism = par
 	rows, err := experiments.Fig6(cfg)
 	if err != nil {
 		return err
@@ -220,9 +224,10 @@ func runFig6(budget time.Duration, seed uint64) error {
 	return w.Flush()
 }
 
-func runFig7(seed uint64) error {
+func runFig7(seed uint64, par int) error {
 	cfg := experiments.DefaultFig7Config()
 	cfg.Seed = seed
+	cfg.Parallelism = par
 	rows, err := experiments.Fig7(cfg)
 	if err != nil {
 		return err
@@ -238,9 +243,10 @@ func runFig7(seed uint64) error {
 	return w.Flush()
 }
 
-func runFig8(seed uint64) error {
+func runFig8(seed uint64, par int) error {
 	cfg := experiments.DefaultFig8Config()
 	cfg.Seed = seed
+	cfg.Parallelism = par
 	res, err := experiments.Fig8(cfg)
 	if err != nil {
 		return err
@@ -260,9 +266,10 @@ func runFig8(seed uint64) error {
 	return w.Flush()
 }
 
-func runFig9(seed uint64) error {
+func runFig9(seed uint64, par int) error {
 	cfg := experiments.DefaultFig9Config()
 	cfg.Seed = seed
+	cfg.Parallelism = par
 	res, err := experiments.Fig9(cfg)
 	if err != nil {
 		return err
@@ -283,10 +290,11 @@ func runFig9(seed uint64) error {
 	return nil
 }
 
-func runFig10(budget time.Duration, seed uint64) error {
+func runFig10(budget time.Duration, seed uint64, par int) error {
 	cfg := experiments.DefaultFig10Config()
 	cfg.Budget = budget
 	cfg.Seed = seed
+	cfg.Parallelism = par
 	rows, err := experiments.Fig10(cfg)
 	if err != nil {
 		return err

@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -42,6 +43,7 @@ func main() {
 		minlen   = flag.Int("minlen", 1, "topk: minimum pattern length; closedrows: minimum size")
 		maxsize  = flag.Int("maxsize", 0, "apriori/eclat: max pattern size (0 = unbounded)")
 		seed     = flag.Uint64("seed", 1, "fusion: random seed")
+		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "fusion: worker goroutines per iteration (results are identical for any value)")
 		budget   = flag.Duration("budget", 0, "optional time budget (0 = none)")
 		top      = flag.Int("top", 0, "print only the first N patterns (0 = all)")
 	)
@@ -78,6 +80,7 @@ func main() {
 		cfg.Tau = *tau
 		cfg.InitPoolMaxSize = *initSize
 		cfg.Seed = *seed
+		cfg.Parallelism = *par
 		cfg.Canceled = cancel
 		res, err := core.Mine(d, cfg)
 		if err != nil {

@@ -27,6 +27,17 @@
 //		fmt.Printf("%v support=%d\n", p.Items, p.Support())
 //	}
 //
+// # Parallelism and determinism
+//
+// Mine fuses the K seed balls of each iteration on a worker pool of
+// Config.Parallelism goroutines (0 = all CPUs). Results are a pure
+// function of Config.Seed: every seed slot draws from a private RNG stream
+// derived from (Seed, iteration, slot) and per-slot outputs are merged in
+// slot order, so the same seed yields bit-identical Result.Patterns for
+// every Parallelism value — scheduling and core count never leak into the
+// output. The stream-splitting contract lives in the internal rng
+// package's Stream function.
+//
 // # What else is in the box
 //
 // Because the paper's evaluation needs complete miners as baselines and

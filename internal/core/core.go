@@ -22,11 +22,23 @@
 // core property during agglomeration and emits one super-pattern per
 // randomized agglomeration pass, weighted-sampling the survivors when a
 // seed generates too many (Section 4, "Fusion").
+//
+// # Parallel fusion
+//
+// Each iteration fuses its K seed balls on a worker pool of
+// Config.Parallelism goroutines (default: all CPUs). Every seed slot draws
+// only from a private RNG stream derived from (Config.Seed, iteration,
+// slot) via rng.Stream, and per-slot results are merged in slot order, so a
+// run's Result is bit-identical for every Parallelism value — reproducibility
+// depends on Config.Seed alone, never on scheduling or core count.
 package core
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
+	"strings"
+	"sync"
 
 	"repro/internal/apriori"
 	"repro/internal/bitset"
@@ -84,9 +96,22 @@ type Config struct {
 	// starve small patterns — elitism shields the large ones from the same
 	// effect). Zero disables it.
 	Elitism int
+	// Parallelism is the number of worker goroutines fusing seed balls
+	// within one iteration. The K seeds of an iteration are independent, so
+	// they are dealt to a worker pool; each seed slot draws from its own
+	// RNG stream derived from (Seed, iteration, slot) — see rng.Stream —
+	// and per-seed outputs are merged back in slot order, so Result is
+	// bit-identical for every Parallelism value, including 1. Zero means
+	// runtime.GOMAXPROCS(0); negative is invalid.
+	Parallelism int
 	// Seed seeds the deterministic RNG.
 	Seed uint64
-	// Canceled, if non-nil, is polled for cooperative cancellation.
+	// Canceled, if non-nil, is polled for cooperative cancellation: once
+	// per seed within each fusion iteration. It is only ever called from
+	// the goroutine running Mine, never from the fusion workers, so the
+	// callback need not be safe for concurrent use. A canceled run returns
+	// Stopped=true; the bit-identical-across-Parallelism guarantee applies
+	// to runs that complete without cancellation.
 	Canceled func() bool
 	// OnIteration, if non-nil, observes the pool after each fusion
 	// iteration (used by the experiments and the Lemma 5 tests). The pool
@@ -138,7 +163,18 @@ func (c *Config) validate() error {
 	if c.MaxIterations < 1 {
 		c.MaxIterations = 64
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("core: Parallelism must be >= 0, got %d", c.Parallelism)
+	}
 	return nil
+}
+
+// workers resolves Parallelism to a concrete worker count.
+func (c *Config) workers() int {
+	if c.Parallelism > 0 {
+		return c.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result is the outcome of a Pattern-Fusion run.
@@ -195,7 +231,6 @@ func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Res
 	if minCount == 0 {
 		minCount = d.MinCount(cfg.MinSupport)
 	}
-	r := rng.New(cfg.Seed)
 	res := &Result{InitPoolSize: len(pool)}
 
 	cur := append([]*dataset.Pattern(nil), pool...)
@@ -205,11 +240,11 @@ func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Res
 	// the initial pool already holds at most K patterns (otherwise a pool of
 	// singletons smaller than K would be returned unfused).
 	for len(cur) > 0 && (res.Iterations == 0 || len(cur) > cfg.K) && res.Iterations < cfg.MaxIterations {
-		if cfg.Canceled != nil && cfg.Canceled() {
+		next, stopped := fusionStep(d, cur, cfg, minCount, radius, res.Iterations)
+		if stopped {
 			res.Stopped = true
 			break
 		}
-		next := fusionStep(d, cur, cfg, minCount, radius, r)
 		res.Iterations++
 		if cfg.OnIteration != nil {
 			cfg.OnIteration(res.Iterations, next)
@@ -237,11 +272,27 @@ func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Res
 // patterns, find each seed's ball of radius r(τ), fuse each ball into
 // super-patterns, and return the union of all super-patterns as the next
 // pool.
-func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCount int, radius float64, r *rng.RNG) []*dataset.Pattern {
-	seedIdx := r.SampleInts(len(pool), cfg.K)
-	var next []*dataset.Pattern
-	for _, si := range seedIdx {
-		seed := pool[si]
+//
+// The K seeds are independent, so they are dealt to cfg.workers() pool
+// goroutines. Determinism regardless of worker count comes from two rules:
+// every seed slot s draws only from its private stream
+// rng.Stream(cfg.Seed, iteration, s) (the seed indices themselves come from
+// the iteration-level stream rng.Stream(cfg.Seed, iteration)), and per-slot
+// outputs are concatenated in slot order before dedup. Scheduling can
+// change which goroutine fuses which seed, but never what any seed
+// produces or where its output lands.
+//
+// Canceled is polled once per seed from the dispatching goroutine; the
+// unbuffered work channel paces dispatch to the workers' drain rate, so
+// polls are spread across the iteration and cancellation aborts the step
+// without waiting for the remaining seeds. A stopped step reports
+// stopped=true and its partial output is discarded.
+func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCount int, radius float64, iteration int) (next []*dataset.Pattern, stopped bool) {
+	seedIdx := rng.Stream(cfg.Seed, uint64(iteration)).SampleInts(len(pool), cfg.K)
+	perSeed := make([][]*dataset.Pattern, len(seedIdx))
+	fuseSlot := func(slot int) {
+		r := rng.Stream(cfg.Seed, uint64(iteration), uint64(slot))
+		seed := pool[seedIdx[slot]]
 		// The ball: all pool patterns within distance r(τ) of the seed
 		// (the seed's CoreList in the paper's terms).
 		var ball []*dataset.Pattern
@@ -257,7 +308,45 @@ func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCoun
 			}
 			ball = sampled
 		}
-		next = append(next, fuse(d, seed, ball, cfg, minCount, r)...)
+		perSeed[slot] = fuse(d, seed, ball, cfg, minCount, r)
+	}
+
+	canceled := func() bool { return cfg.Canceled != nil && cfg.Canceled() }
+	if workers := min(cfg.workers(), len(seedIdx)); workers <= 1 {
+		for slot := range seedIdx {
+			if canceled() {
+				return nil, true
+			}
+			fuseSlot(slot)
+		}
+	} else {
+		slots := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for slot := range slots {
+					fuseSlot(slot)
+				}
+			}()
+		}
+		for slot := range seedIdx {
+			if canceled() {
+				stopped = true
+				break
+			}
+			slots <- slot
+		}
+		close(slots)
+		wg.Wait()
+		if stopped {
+			return nil, true
+		}
+	}
+
+	for _, ps := range perSeed {
+		next = append(next, ps...)
 	}
 	if cfg.Elitism > 0 {
 		// Shield the largest patterns found so far from seed-lottery death.
@@ -268,7 +357,7 @@ func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCoun
 		}
 		next = append(next, elite...)
 	}
-	return dataset.DedupPatterns(next)
+	return dataset.DedupPatterns(next), false
 }
 
 // fuse generates super-patterns from a seed and its ball (Section 4,
@@ -404,16 +493,19 @@ func sortBySizeDesc(ps []*dataset.Pattern) {
 // poolKey fingerprints a pool's itemset contents, independent of order.
 func poolKey(ps []*dataset.Pattern) string {
 	keys := make([]string, len(ps))
+	total := 0
 	for i, p := range ps {
 		keys[i] = p.Items.Key()
+		total += len(keys[i]) + 1
 	}
 	sort.Strings(keys)
-	var sb []byte
+	var sb strings.Builder
+	sb.Grow(total)
 	for _, k := range keys {
-		sb = append(sb, k...)
-		sb = append(sb, ';')
+		sb.WriteString(k)
+		sb.WriteByte(';')
 	}
-	return string(sb)
+	return sb.String()
 }
 
 // IsCore reports whether beta is a τ-core pattern of alpha in d

@@ -21,6 +21,11 @@ type AblationRow struct {
 type AblationConfig struct {
 	K    int
 	Seed uint64
+	// Parallelism fans the ablation cells out to this many workers and is
+	// handed to core.Config.Parallelism (<= 1 = fully sequential). Every
+	// cell is seeded independently, so results are identical for any
+	// value.
+	Parallelism int
 }
 
 // DefaultAblationConfig matches the Figure 8 setup (K = 100, σ = 0.03).
@@ -34,6 +39,7 @@ func Ablations(cfg AblationConfig) (map[string][]AblationRow, error) {
 	runOne := func(name string, mutate func(*core.Config)) (AblationRow, error) {
 		pf := core.DefaultConfig(cfg.K, 0.03)
 		pf.Seed = cfg.Seed
+		pf.Parallelism = corePar(cfg.Parallelism)
 		mutate(&pf)
 		t0 := time.Now()
 		res, err := core.Mine(d, pf)
@@ -52,16 +58,6 @@ func Ablations(cfg AblationConfig) (map[string][]AblationRow, error) {
 		}
 		row.Recall = float64(hits) / float64(len(paths))
 		return row, nil
-	}
-
-	out := make(map[string][]AblationRow)
-	add := func(group, name string, mutate func(*core.Config)) error {
-		row, err := runOne(name, mutate)
-		if err != nil {
-			return err
-		}
-		out[group] = append(out[group], row)
-		return nil
 	}
 
 	type sweep struct {
@@ -86,10 +82,23 @@ func Ablations(cfg AblationConfig) (map[string][]AblationRow, error) {
 		{"closure", "closure=off", func(c *core.Config) { c.CloseFused = false }},
 		{"closure", "closure=on", func(c *core.Config) { c.CloseFused = true }},
 	}
-	for _, s := range sweeps {
-		if err := add(s.group, s.name, s.mutate); err != nil {
-			return nil, err
+	// Every sweep cell is an independent Pattern-Fusion run; fan them out,
+	// then fold the rows into their groups in declaration order.
+	rows := make([]AblationRow, len(sweeps))
+	err := forEachCell(cfg.Parallelism, len(sweeps), func(i int) error {
+		row, err := runOne(sweeps[i].name, sweeps[i].mutate)
+		if err != nil {
+			return err
 		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]AblationRow)
+	for i, s := range sweeps {
+		out[s.group] = append(out[s.group], rows[i])
 	}
 	return out, nil
 }

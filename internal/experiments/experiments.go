@@ -12,6 +12,7 @@ package experiments
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/carpenter"
@@ -36,6 +37,73 @@ func deadlineCancel(budget time.Duration) func() bool {
 	return func() bool { return time.Now().After(deadline) }
 }
 
+// corePar maps an experiment-level Parallelism value to the one handed to
+// core.Config: at this layer 0 means "sequential" (like 1), never "all
+// CPUs", so that default-constructed configs measure single-core fusion
+// timings as documented.
+func corePar(parallelism int) int {
+	if parallelism < 1 {
+		return 1
+	}
+	return parallelism
+}
+
+// forEachCell runs fn(i) for every cell index in [0, n), fanning the cells
+// out to a pool of parallelism workers. Parallelism <= 1 runs the cells
+// sequentially on the calling goroutine — the default for every
+// experiment config, so that per-cell wall-clock measurements stay free of
+// sibling-cell contention unless the caller opts in. Each fn must write
+// only its own cell's slot. The first error encountered wins; once an
+// error occurs no new cells are started (parallel cells already in flight
+// still finish), so a failing sweep aborts instead of burning the
+// remaining cells' budgets.
+func forEachCell(parallelism, n int, fn func(i int) error) error {
+	if parallelism > n {
+		parallelism = n
+	}
+	if parallelism <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	cells := make(chan int)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range cells {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		mu.Lock()
+		failed := firstErr != nil
+		mu.Unlock()
+		if failed {
+			break
+		}
+		cells <- i
+	}
+	close(cells)
+	wg.Wait()
+	return firstErr
+}
+
 // ---------------------------------------------------------------------------
 // E8: the introduction's motivating example (Diag40 + 20 rows of a fresh
 // 39-item pattern; σ count = 20).
@@ -53,8 +121,9 @@ type IntroResult struct {
 }
 
 // Intro runs the motivating example with the given budget for the exact
-// miner.
-func Intro(budget time.Duration, seed uint64) (*IntroResult, error) {
+// miner. Parallelism follows the experiment-layer convention: it is handed
+// to core.Config.Parallelism with <= 1 meaning a sequential fusion run.
+func Intro(budget time.Duration, seed uint64, parallelism int) (*IntroResult, error) {
 	d := datagen.DiagPlus(40, 20, 39)
 	colossal := itemset.Canonical(datagen.DiagColossal(40, 39))
 	res := &IntroResult{}
@@ -69,6 +138,7 @@ func Intro(budget time.Duration, seed uint64) (*IntroResult, error) {
 	cfg.MinCount = 20
 	cfg.InitPoolMaxSize = 2
 	cfg.Seed = seed
+	cfg.Parallelism = corePar(parallelism)
 	t0 = time.Now()
 	fres, err := core.Mine(d, cfg)
 	if err != nil {
@@ -105,6 +175,12 @@ type Fig6Config struct {
 	Tau    float64       // core ratio
 	Budget time.Duration // per-point budget for the exact miner
 	Seed   uint64
+	// Parallelism fans the per-n cells out to this many workers and is
+	// handed to core.Config.Parallelism. Cells are seeded independently of
+	// execution order, so mined results are identical for any value; <= 1
+	// keeps both the cells and the fusion runs sequential for clean
+	// per-cell timings (unlike core.Config, 0 here never means all CPUs).
+	Parallelism int
 }
 
 // DefaultFig6Config mirrors the paper's sweep, with a laptop-scale budget.
@@ -120,8 +196,9 @@ func DefaultFig6Config() Fig6Config {
 
 // Fig6 runs the Diag_n runtime sweep.
 func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
-	var rows []Fig6Row
-	for _, n := range cfg.Sizes {
+	rows := make([]Fig6Row, len(cfg.Sizes))
+	err := forEachCell(cfg.Parallelism, len(cfg.Sizes), func(i int) error {
+		n := cfg.Sizes[i]
 		d := datagen.Diag(n)
 		minCount := n / 2
 		if minCount < 1 {
@@ -140,14 +217,19 @@ func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
 		pf.Tau = cfg.Tau
 		pf.InitPoolMaxSize = 2
 		pf.Seed = cfg.Seed
+		pf.Parallelism = corePar(cfg.Parallelism)
 		t0 = time.Now()
 		fres, err := core.Mine(d, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.FusionTime = time.Since(t0)
 		row.FusionSizes = len(fres.Patterns)
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -170,6 +252,12 @@ type Fig7Config struct {
 	Ks         []int // pattern budget sweep (paper: up to 450)
 	SampleSize int   // |Q|: the complete set is too large, so it is sampled
 	Seed       uint64
+	// Parallelism fans the per-K cells out to this many workers and is
+	// handed to core.Config.Parallelism (<= 1 = fully sequential, even for
+	// the fusion runs). Each cell draws from its own rng.Stream keyed by K,
+	// so results are identical for any Parallelism and unaffected by
+	// adding or removing other Ks.
+	Parallelism int
 }
 
 // DefaultFig7Config mirrors the paper's setup: Diag40, σ count 20, initial
@@ -190,38 +278,49 @@ func DefaultFig7Config() Fig7Config {
 // sample of it: random 20-subsets of the 40 items.
 func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
 	d := datagen.Diag(cfg.N)
-	r := rng.New(cfg.Seed)
 
+	// The evaluation sample Q is shared by all cells and drawn from the
+	// root-level stream; each K-cell then derives its own stream keyed by
+	// K, so no cell's randomness depends on which other cells run, or in
+	// what order.
+	qr := rng.Stream(cfg.Seed)
 	target := cfg.N - cfg.MinCount // pattern size in the complete set
 	q := make([]itemset.Itemset, cfg.SampleSize)
 	for i := range q {
-		pick := r.SampleInts(cfg.N, target)
+		pick := qr.SampleInts(cfg.N, target)
 		q[i] = itemset.Canonical(pick)
 	}
 
-	var rows []Fig7Row
-	for _, k := range cfg.Ks {
+	rows := make([]Fig7Row, len(cfg.Ks))
+	err := forEachCell(cfg.Parallelism, len(cfg.Ks), func(i int) error {
+		k := cfg.Ks[i]
+		cr := rng.Stream(cfg.Seed, uint64(k))
 		pf := core.DefaultConfig(k, 0)
 		pf.MinCount = cfg.MinCount
 		pf.InitPoolMaxSize = 2
-		pf.Seed = r.Uint64()
+		pf.Seed = cr.Uint64()
+		pf.Parallelism = corePar(cfg.Parallelism)
 		res, err := core.Mine(d, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		p := dataset.Itemsets(res.Patterns)
 		// The uniform-sampling baseline picks K patterns from the complete
 		// answer set (all C(40,20) size-20 subsets), independently of the
 		// sample Q it is evaluated against.
 		uniform := make([]itemset.Itemset, k)
-		for i := range uniform {
-			uniform[i] = itemset.Canonical(r.SampleInts(cfg.N, target))
+		for j := range uniform {
+			uniform[j] = itemset.Canonical(cr.SampleInts(cfg.N, target))
 		}
-		rows = append(rows, Fig7Row{
+		rows[i] = Fig7Row{
 			K:            k,
 			FusionDelta:  quality.Delta(p, q),
 			UniformDelta: quality.Delta(uniform, q),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -253,6 +352,10 @@ type Fig8Config struct {
 	MinSizes []int   // x sweep (paper: 39 … 45)
 	Seed     uint64
 	Budget   time.Duration // budget for the complete closed mining
+	// Parallelism fans the per-K Pattern-Fusion cells out to this many
+	// workers and is handed to core.Config.Parallelism (<= 1 = fully
+	// sequential). Results are identical for any value.
+	Parallelism int
 }
 
 // DefaultFig8Config mirrors the paper's setup.
@@ -278,17 +381,32 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 	qAll := dataset.Itemsets(closed.Patterns)
 
 	out := &Fig8Result{ClosedTotal: len(qAll), ColossalFound: true}
-	results := make(map[int][]itemset.Itemset)
-	for _, k := range cfg.Ks {
+	// Each K-cell writes only its own slot; the fold below is sequential.
+	type cell struct {
+		itemsets []itemset.Itemset
+		initPool int
+	}
+	cells := make([]cell, len(cfg.Ks))
+	err := forEachCell(cfg.Parallelism, len(cfg.Ks), func(i int) error {
+		k := cfg.Ks[i]
 		pf := core.DefaultConfig(k, cfg.Sigma)
 		pf.InitPoolMaxSize = 3
 		pf.Seed = cfg.Seed + uint64(k)
+		pf.Parallelism = corePar(cfg.Parallelism)
 		res, err := core.Mine(d, pf)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out.InitPool = res.InitPoolSize
-		results[k] = dataset.Itemsets(res.Patterns)
+		cells[i] = cell{itemsets: dataset.Itemsets(res.Patterns), initPool: res.InitPoolSize}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make(map[int][]itemset.Itemset)
+	for i, k := range cfg.Ks {
+		out.InitPool = cells[i].initPool
+		results[k] = cells[i].itemsets
 		// The paper stresses that the three size-44 colossal patterns are
 		// never missed, for any K and τ.
 		for _, path := range paths {
@@ -345,6 +463,10 @@ type Fig9Config struct {
 	// of size > 85.
 	LargeCutoff int
 	Seed        uint64
+	// Parallelism is handed to core.Config.Parallelism (<= 1 = sequential;
+	// Figure 9 is a single Pattern-Fusion run, so there are no cells to
+	// fan out).
+	Parallelism int
 }
 
 // DefaultFig9Config mirrors the paper's setup.
@@ -361,6 +483,7 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 	pf.MinCount = cfg.MinCount
 	pf.InitPoolMaxSize = 2
 	pf.Seed = cfg.Seed
+	pf.Parallelism = corePar(cfg.Parallelism)
 	fres, err := core.Mine(d, pf)
 	if err != nil {
 		return nil, err
@@ -425,6 +548,11 @@ type Fig10Config struct {
 	TopKMinL int           // TFP min pattern length
 	Budget   time.Duration // per-point budget for the exact miners
 	Seed     uint64
+	// Parallelism fans the per-support cells out to this many workers and
+	// is handed to core.Config.Parallelism. <= 1 keeps the cells and
+	// fusion runs sequential so the runtime curves stay free of sibling
+	// contention (unlike core.Config, 0 here never means all CPUs).
+	Parallelism int
 }
 
 // DefaultFig10Config mirrors the paper's sweep with laptop budgets.
@@ -442,8 +570,9 @@ func DefaultFig10Config() Fig10Config {
 // Fig10 runs the microarray runtime sweep.
 func Fig10(cfg Fig10Config) ([]Fig10Row, error) {
 	d, _ := datagen.Microarray(cfg.Seed)
-	var rows []Fig10Row
-	for _, mc := range cfg.MinCounts {
+	rows := make([]Fig10Row, len(cfg.MinCounts))
+	err := forEachCell(cfg.Parallelism, len(cfg.MinCounts), func(i int) error {
+		mc := cfg.MinCounts[i]
 		row := Fig10Row{MinCount: mc}
 
 		t0 := time.Now()
@@ -460,12 +589,17 @@ func Fig10(cfg Fig10Config) ([]Fig10Row, error) {
 		pf.MinCount = mc
 		pf.InitPoolMaxSize = 2
 		pf.Seed = cfg.Seed
+		pf.Parallelism = corePar(cfg.Parallelism)
 		t0 = time.Now()
 		if _, err := core.Mine(d, pf); err != nil {
-			return nil, err
+			return err
 		}
 		row.FusionTime = time.Since(t0)
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

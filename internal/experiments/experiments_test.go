@@ -40,7 +40,7 @@ func TestThreeWayOracleAgreement(t *testing.T) {
 }
 
 func TestIntroExperiment(t *testing.T) {
-	res, err := Intro(300*time.Millisecond, 1)
+	res, err := Intro(300*time.Millisecond, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

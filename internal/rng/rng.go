@@ -6,6 +6,21 @@
 // explicit *rng.RNG so that experiments are exactly reproducible from a
 // single integer seed. The generator is xoshiro256**, seeded via SplitMix64,
 // the construction recommended by its authors for initializing the state.
+//
+// # Stream splitting
+//
+// Parallel consumers must not share one sequential RNG: the interleaving of
+// draws would depend on goroutine scheduling and destroy reproducibility.
+// Stream solves this by deriving a child generator purely from a root seed
+// and a label path — Stream(root, labels...) is a pure function of its
+// arguments, consumes no state from any other generator, and two calls with
+// the same (root, labels) always return identical streams regardless of
+// which goroutine makes them or in what order. Distinct label paths yield
+// statistically independent streams (each label is folded through the
+// SplitMix64 finalizer, so related paths such as (i, j) and (j, i) do not
+// collide). Callers address work items hierarchically, e.g.
+// Stream(seed, iteration, workItem), and get scheduling-independent
+// determinism for free.
 package rng
 
 import "math/bits"
@@ -24,11 +39,8 @@ func New(seed uint64) *RNG {
 	// SplitMix64 to fill the state; guarantees a non-zero state for any seed.
 	x := seed
 	for i := range r.s {
-		x += 0x9e3779b97f4a7c15
-		z := x
-		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-		r.s[i] = z ^ (z >> 31)
+		x += goldenGamma
+		r.s[i] = mix64(x)
 	}
 	return r
 }
@@ -37,6 +49,42 @@ func New(seed uint64) *RNG {
 // It advances r's stream.
 func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
+}
+
+// goldenGamma is the SplitMix64 increment (2^64 / φ, odd).
+const goldenGamma = 0x9e3779b97f4a7c15
+
+// mix64 is the SplitMix64 finalizer: a bijective avalanche mix of x.
+func mix64(x uint64) uint64 {
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Stream returns the child RNG identified by the label path under root.
+//
+// Unlike Split, Stream consumes no generator state: it is a pure function
+// of (root, labels), so concurrent callers can each derive their own stream
+// without synchronization and without their results depending on call or
+// scheduling order. The contract:
+//
+//   - Stream(root, labels...) with equal arguments always returns an RNG
+//     producing the identical sequence;
+//   - distinct label paths (including paths of different lengths, prefixes
+//     of one another, and permutations of the same labels) yield streams
+//     that are statistically independent;
+//   - Stream(root) without labels differs from New(root), so a root-level
+//     stream never aliases a generator seeded directly with the same value.
+func Stream(root uint64, labels ...uint64) *RNG {
+	x := mix64(root + goldenGamma)
+	for _, l := range labels {
+		// Fold each label through the finalizer before absorbing it so that
+		// structured label spaces (small consecutive integers) land far
+		// apart, then re-mix the accumulator to order-sensitively chain the
+		// path: mix(mix(a)+b) != mix(mix(b)+a).
+		x = mix64(x + goldenGamma + mix64(l))
+	}
+	return New(x)
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

@@ -226,6 +226,67 @@ func TestSplitIndependence(t *testing.T) {
 	}
 }
 
+func TestStreamDeterministic(t *testing.T) {
+	a := Stream(42, 3, 7)
+	b := Stream(42, 3, 7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Stream(42,3,7) diverged at step %d", i)
+		}
+	}
+}
+
+// TestStreamIsPure pins the contract that makes parallel fusion
+// deterministic: deriving other streams in between (in any order) must not
+// perturb a stream's output.
+func TestStreamIsPure(t *testing.T) {
+	first := Stream(5, 1, 2).Uint64()
+	Stream(5, 9)
+	Stream(5, 2, 1)
+	Stream(99)
+	if got := Stream(5, 1, 2).Uint64(); got != first {
+		t.Fatalf("Stream(5,1,2) changed after unrelated derivations: %d vs %d", got, first)
+	}
+}
+
+func TestStreamDistinctPathsDiffer(t *testing.T) {
+	// Pairs that collide under naive label folding: permuted labels,
+	// prefix paths, shifted roots, and the New alias.
+	pairs := [][2]*RNG{
+		{Stream(1, 2, 3), Stream(1, 3, 2)},
+		{Stream(1, 2, 3), Stream(1, 2)},
+		{Stream(1, 2), Stream(1)},
+		{Stream(1, 2), Stream(2, 1)},
+		{Stream(1), New(1)},
+		{Stream(7, 0), Stream(7, 1)},
+		{Stream(7, 0, 0), Stream(7, 0)},
+	}
+	for pi, pair := range pairs {
+		same := 0
+		for i := 0; i < 100; i++ {
+			if pair[0].Uint64() == pair[1].Uint64() {
+				same++
+			}
+		}
+		if same > 2 {
+			t.Errorf("pair %d: streams matched %d/100 times", pi, same)
+		}
+	}
+}
+
+func TestStreamUniformAcrossConsecutiveLabels(t *testing.T) {
+	// Consecutive small labels — the shape (iteration, seedIndex) takes —
+	// must still produce well-distributed first draws.
+	const streams = 1000
+	var sum float64
+	for i := uint64(0); i < streams; i++ {
+		sum += Stream(1, i).Float64()
+	}
+	if mean := sum / streams; math.Abs(mean-0.5) > 0.03 {
+		t.Errorf("first-draw mean over consecutive labels = %v, want ~0.5", mean)
+	}
+}
+
 func TestShuffleKeepsElements(t *testing.T) {
 	r := New(37)
 	p := []int{1, 2, 3, 4, 5}
