@@ -398,6 +398,53 @@ func BenchmarkBitsetAndCount(b *testing.B) {
 	}
 }
 
+// BenchmarkBitsetAndCountAtLeast measures the early-exit intersection bound
+// against the full AndCount above: the ball search runs it once per
+// (seed, candidate) pair, so its constant factor is the fusion inner loop's.
+func BenchmarkBitsetAndCountAtLeast(b *testing.B) {
+	r := rng.New(1)
+	x, y := bitset.New(4096), bitset.New(4096)
+	for i := 0; i < 2000; i++ {
+		x.Set(r.Intn(4096))
+		y.Set(r.Intn(4096))
+	}
+	threshold := x.AndCount(y) + 1 // worst case: undecidable until the bound kicks in
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if x.AndCountAtLeast(y, threshold) {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkItemsetFingerprint measures the 128-bit hash that replaced
+// decimal string keys in every dedup map on the mining path.
+func BenchmarkItemsetFingerprint(b *testing.B) {
+	s := make(itemset.Itemset, 64)
+	for i := range s {
+		s[i] = i * 3
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Fingerprint() == (itemset.Fingerprint{}) {
+			b.Fatal("impossible")
+		}
+	}
+}
+
+// BenchmarkCloserMicroarray measures the counting-based closure against the
+// allocating intersection chain it replaced in the fusion loop.
+func BenchmarkCloserMicroarray(b *testing.B) {
+	d, top := microFixture(b)
+	closer := dataset.NewCloser(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(closer.Closure(top[i%len(top)].TIDs)) == 0 {
+			b.Fatal("empty closure")
+		}
+	}
+}
+
 func BenchmarkTIDSetReplace(b *testing.B) {
 	d, paths, _ := replaceFixture(b)
 	b.ResetTimer()

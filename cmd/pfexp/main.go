@@ -27,6 +27,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/experiments"
 	"repro/internal/itemset"
+	"repro/internal/profiling"
 	"repro/internal/quality"
 )
 
@@ -35,8 +36,12 @@ func main() {
 	budget := flag.Duration("budget", 2*time.Second, "per-point time budget for exact miners")
 	seed := flag.Uint64("seed", 1, "random seed")
 	par := flag.Int("parallelism", runtime.GOMAXPROCS(0), "experiment cells and fusion workers run concurrently (results are identical for any value; use 1 for contention-free per-cell timings)")
+	cpuprof := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memprof := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.StringVar(&csvDir, "csv", "", "also write each figure's data as CSV into this directory")
 	flag.Parse()
+	stopProfiles := profiling.Start(*cpuprof, *memprof)
+	defer stopProfiles()
 	if csvDir != "" {
 		if err := os.MkdirAll(csvDir, 0o755); err != nil {
 			fmt.Fprintf(os.Stderr, "pfexp: %v\n", err)

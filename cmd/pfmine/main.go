@@ -29,6 +29,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/eclat"
 	"repro/internal/maximal"
+	"repro/internal/profiling"
 	"repro/internal/topk"
 )
 
@@ -46,6 +47,8 @@ func main() {
 		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "fusion: worker goroutines per iteration (results are identical for any value)")
 		budget   = flag.Duration("budget", 0, "optional time budget (0 = none)")
 		top      = flag.Int("top", 0, "print only the first N patterns (0 = all)")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the mining run to this file")
+		memprof  = flag.String("memprofile", "", "write a heap profile (after mining) to this file")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -53,6 +56,8 @@ func main() {
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
+	stopProfiles := profiling.Start(*cpuprof, *memprof)
+	defer stopProfiles()
 
 	d, err := dataset.Load(flag.Arg(0))
 	if err != nil {

@@ -38,6 +38,19 @@
 // output. The stream-splitting contract lives in the internal rng
 // package's Stream function.
 //
+// # Performance
+//
+// The fusion hot path is engineered for near-zero redundant work: support
+// counts are memoized per pattern, ball membership is decided by
+// count-algebra pruning with an early-exit intersection bound (most
+// candidate pairs never touch a bitset word), dedup maps are keyed by
+// 128-bit itemset fingerprints instead of strings, and each fusion worker
+// reuses scratch buffers plus a counting-based closure computer, so a draw
+// allocates only when it discovers a new super-pattern. All of it is
+// differential-tested against the naive forms and pinned to bit-identical
+// golden results; see README.md ("Performance") for recorded numbers and
+// profiling instructions (scripts/bench.sh, pfmine -cpuprofile).
+//
 // # What else is in the box
 //
 // Because the paper's evaluation needs complete miners as baselines and

@@ -10,7 +10,10 @@
 //
 // Support counting uses the dataset's vertical representation: the tidset of
 // a (k)-candidate is the intersection of a (k−1)-parent's tidset with one
-// item tidset, so each level costs one bitset AND per candidate.
+// item tidset, so each level costs one bitset AND per candidate. Candidate
+// generation is allocation-lean: the prune index is keyed by 128-bit
+// itemset fingerprints, the subset-check buffer is reused across
+// candidates, and emitted patterns carry their support count memoized.
 package apriori
 
 import (
@@ -54,10 +57,8 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 	// L1: frequent single items.
 	var level []*dataset.Pattern
 	for _, item := range d.FrequentItems(opts.MinCount) {
-		level = append(level, &dataset.Pattern{
-			Items: itemset.Itemset{item},
-			TIDs:  d.ItemTIDs(item).Clone(),
-		})
+		level = append(level, dataset.NewPatternTIDs(
+			itemset.Itemset{item}, d.ItemTIDs(item).Clone()))
 	}
 	k := 1
 	for len(level) > 0 {
@@ -78,15 +79,19 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 
 // nextLevel generates and counts the (k+1)-candidates from the frequent
 // k-level using the classic join + prune steps. The level is kept in
-// lexicographic order, which the prefix join relies on.
+// lexicographic order, which the prefix join relies on. The frequency index
+// is keyed by itemset fingerprint and the prune-check subset buffer is
+// reused across candidates, so a level's candidate generation allocates
+// only for the surviving patterns.
 func nextLevel(d *dataset.Dataset, level []*dataset.Pattern, minCount int) []*dataset.Pattern {
 	// Membership index for the subset-pruning step.
-	freq := make(map[string]bool, len(level))
+	freq := make(map[itemset.Fingerprint]bool, len(level))
 	for _, p := range level {
-		freq[p.Items.Key()] = true
+		freq[p.Items.Fingerprint()] = true
 	}
 
-	var next []*dataset.Pattern
+	next := make([]*dataset.Pattern, 0, len(level))
+	var buf itemset.Itemset
 	for i := 0; i < len(level); i++ {
 		a := level[i]
 		k := len(a.Items)
@@ -102,12 +107,12 @@ func nextLevel(d *dataset.Dataset, level []*dataset.Pattern, minCount int) []*da
 			// Prune step: every k-subset of cand must be frequent. The two
 			// subsets obtained by removing the last two items are a and b
 			// themselves, so check only the others.
-			if !allSubsetsFrequent(cand, freq) {
+			if !allSubsetsFrequent(cand, freq, &buf) {
 				continue
 			}
 			tids := a.TIDs.And(d.ItemTIDs(b.Items[k-1]))
-			if tids.Count() >= minCount {
-				next = append(next, &dataset.Pattern{Items: cand, TIDs: tids})
+			if c := tids.Count(); c >= minCount {
+				next = append(next, dataset.NewPatternCounted(cand, tids, c))
 			}
 		}
 	}
@@ -124,9 +129,12 @@ func samePrefix(a, b itemset.Itemset) bool {
 	return true
 }
 
-func allSubsetsFrequent(cand itemset.Itemset, freq map[string]bool) bool {
+func allSubsetsFrequent(cand itemset.Itemset, freq map[itemset.Fingerprint]bool, scratch *itemset.Itemset) bool {
 	n := len(cand)
-	buf := make(itemset.Itemset, 0, n-1)
+	if cap(*scratch) < n {
+		*scratch = make(itemset.Itemset, 0, n)
+	}
+	buf := *scratch
 	// Skip the two subsets missing the last or second-to-last item: they are
 	// the join parents and known frequent.
 	for drop := 0; drop < n-2; drop++ {
@@ -136,7 +144,7 @@ func allSubsetsFrequent(cand itemset.Itemset, freq map[string]bool) bool {
 				buf = append(buf, v)
 			}
 		}
-		if !freq[buf.Key()] {
+		if !freq[buf.Fingerprint()] {
 			return false
 		}
 	}

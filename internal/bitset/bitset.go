@@ -5,6 +5,12 @@
 // represented as a bitset over transaction IDs, so that support counting,
 // the pattern distance Dist(α,β) = 1 − |Dα∩Dβ|/|Dα∪Dβ| (Definition 6) and
 // support-set intersection during fusion are all word-parallel operations.
+//
+// Besides the allocating set algebra (And, Or, AndNot) the package offers
+// allocation-free counting forms (AndCount, OrCount, Jaccard) and the
+// early-exit decision form AndCountAtLeast, which answers
+// |b∩o| ≥ threshold without necessarily finishing the word loop — the
+// primitive behind the fusion engine's count-algebra ball pruning.
 package bitset
 
 import (
@@ -179,6 +185,33 @@ func (b *Bitset) AndCount(o *Bitset) int {
 		c += bits.OnesCount64(w & o.words[i])
 	}
 	return c
+}
+
+// AndCountAtLeast reports whether |b ∩ o| >= threshold without necessarily
+// scanning every word: the loop bails out as soon as the accumulated count
+// reaches threshold (answer is true) or as soon as even all-ones remaining
+// words could no longer reach it (answer is false). It is the primitive
+// behind the ball search's count-algebra pruning: Dist(α,β) ≤ r is
+// equivalent to an intersection-count lower bound, so most candidate pairs
+// are decided after a fraction of the word loop.
+func (b *Bitset) AndCountAtLeast(o *Bitset, threshold int) bool {
+	b.mustMatch(o)
+	if threshold <= 0 {
+		return true
+	}
+	c := 0
+	remaining := len(b.words) * wordBits
+	for i, w := range b.words {
+		c += bits.OnesCount64(w & o.words[i])
+		if c >= threshold {
+			return true
+		}
+		remaining -= wordBits
+		if c+remaining < threshold {
+			return false
+		}
+	}
+	return c >= threshold
 }
 
 // OrCount returns |b ∪ o| without allocating.

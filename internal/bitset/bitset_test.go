@@ -257,3 +257,45 @@ func TestInPlaceOpsMatchAllocating(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestAndCountAtLeastDifferential pins AndCountAtLeast against the naive
+// AndCount for randomized sets and every relevant threshold, including the
+// boundaries where the early exits fire.
+func TestAndCountAtLeastDifferential(t *testing.T) {
+	err := quick.Check(func(ma, mb uint64) bool {
+		a, b := fromMask(64, ma), fromMask(64, mb)
+		c := a.AndCount(b)
+		for _, threshold := range []int{-1, 0, 1, c - 1, c, c + 1, 64, 65} {
+			if got, want := a.AndCountAtLeast(b, threshold), c >= threshold; got != want {
+				t.Logf("AndCountAtLeast(%d) = %v, count %d", threshold, got, c)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAndCountAtLeastMultiWord exercises the both-direction early exits on
+// sets spanning many words.
+func TestAndCountAtLeastMultiWord(t *testing.T) {
+	const n = 1000
+	a, b := New(n), New(n)
+	for i := 0; i < n; i += 2 {
+		a.Set(i)
+	}
+	for i := 0; i < n; i += 3 {
+		b.Set(i)
+	}
+	c := a.AndCount(b)
+	for threshold := 0; threshold <= c+5; threshold++ {
+		if got, want := a.AndCountAtLeast(b, threshold), c >= threshold; got != want {
+			t.Fatalf("threshold %d: got %v, count %d", threshold, got, c)
+		}
+	}
+	if a.AndCountAtLeast(b, n+1) {
+		t.Fatal("threshold above capacity reported reachable")
+	}
+}

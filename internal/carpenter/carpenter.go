@@ -145,7 +145,8 @@ func (m *miner) enumerate(rsize int, x *bitset.Bitset, next int) {
 		}
 		nx := x.And(m.rows[r])
 		// Min-size pruning: intersections only shrink as rows are added.
-		if nx.Empty() || nx.Count() < m.opts.MinSize {
+		// One popcount serves both the emptiness and the min-size test.
+		if c := nx.Count(); c == 0 || c < m.opts.MinSize {
 			continue
 		}
 		m.inSet[r] = true
@@ -168,5 +169,5 @@ func (m *miner) emit(x *bitset.Bitset, support int) {
 	if tids.Count() != support {
 		panic("carpenter: internal row-set bookkeeping error")
 	}
-	m.res.Patterns = append(m.res.Patterns, &dataset.Pattern{Items: items, TIDs: tids})
+	m.res.Patterns = append(m.res.Patterns, dataset.NewPatternCounted(items, tids, support))
 }

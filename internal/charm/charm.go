@@ -55,7 +55,7 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 	all := bitset.New(d.Size())
 	all.SetAll()
 	c0 := ClosureOf(d, all)
-	m.emit(c0)
+	m.emit(c0, all, d.Size())
 	m.extend(c0, all, -1)
 	return res
 }
@@ -74,11 +74,16 @@ func (m *miner) canceled() bool {
 	return m.res.Stopped
 }
 
-func (m *miner) emit(c itemset.Itemset) {
+// emit records the closed set c, whose support set tids (with |tids| = sup)
+// the enumeration already holds — D_c equals the branch's tidset because a
+// closure has the identical support set, so no TIDSet recomputation is
+// needed. The branch retains tids read-only for its sub-branches, and
+// sub-branch tidsets are fresh And results, so the pattern can share it.
+func (m *miner) emit(c itemset.Itemset, tids *bitset.Bitset, sup int) {
 	if len(c) == 0 || len(c) < m.opts.MinSize {
 		return
 	}
-	m.res.Patterns = append(m.res.Patterns, dataset.NewPattern(m.d, c))
+	m.res.Patterns = append(m.res.Patterns, dataset.NewPatternCounted(c, tids, sup))
 }
 
 // extend explores all prefix-preserving closure extensions of the closed
@@ -93,14 +98,15 @@ func (m *miner) extend(c itemset.Itemset, tids *bitset.Bitset, core int) {
 			continue
 		}
 		sub := tids.And(m.d.ItemTIDs(i))
-		if sub.Count() < m.opts.MinCount {
+		sup := sub.Count()
+		if sup < m.opts.MinCount {
 			continue
 		}
 		cc := ClosureOf(m.d, sub)
 		if !prefixPreserved(c, cc, i) {
 			continue
 		}
-		m.emit(cc)
+		m.emit(cc, sub, sup)
 		m.extend(cc, sub, i)
 		if m.res.Stopped {
 			return

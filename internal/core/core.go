@@ -31,13 +31,27 @@
 // slot) via rng.Stream, and per-slot results are merged in slot order, so a
 // run's Result is bit-identical for every Parallelism value — reproducibility
 // depends on Config.Seed alone, never on scheduling or core count.
+//
+// # Hot path
+//
+// A fusion iteration does near-zero redundant work. Support counts are
+// memoized on dataset.Pattern. Ball membership Dist(α,β) ≤ r(τ) is decided
+// by count algebra (see ballThreshold): pairs whose support counts are too
+// far apart are rejected without touching a bitset word, the rest by
+// bitset.AndCountAtLeast with two-sided early exit — derived from the exact
+// float64 predicate, so results never differ from the naive Distance scan.
+// Each worker owns a fuseScratch (reused ball, shuffle order, working TID
+// set, double-buffered itemset union, counting-based dataset.Closer), and
+// all dedup maps are keyed by 128-bit itemset.Fingerprint, so a fusion draw
+// allocates only when it discovers a new super-pattern. Bit-identity with
+// the naive implementation is pinned by differential tests and by golden
+// result hashes (TestResultGoldenBitIdentical).
 package core
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
 	"sync"
 
 	"repro/internal/apriori"
@@ -234,8 +248,14 @@ func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Res
 	res := &Result{InitPoolSize: len(pool)}
 
 	cur := append([]*dataset.Pattern(nil), pool...)
+	// Memoize support counts up front: the ball search and the core-ratio
+	// checks read them once per (seed, candidate) pair, and caller-supplied
+	// pools may carry uncounted patterns.
+	for _, p := range cur {
+		p.EnsureSupport()
+	}
 	radius := Radius(cfg.Tau)
-	prevKey := poolKey(cur)
+	prevKey := poolFingerprints(cur)
 	// Algorithm 1 is a do-while: Pattern_Fusion runs at least once even when
 	// the initial pool already holds at most K patterns (otherwise a pool of
 	// singletons smaller than K would be returned unfused).
@@ -249,8 +269,8 @@ func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Res
 		if cfg.OnIteration != nil {
 			cfg.OnIteration(res.Iterations, next)
 		}
-		key := poolKey(next)
-		if key == prevKey {
+		key := poolFingerprints(next)
+		if fingerprintsEqual(key, prevKey) {
 			// Fixed point: no fusion is possible anymore (every seed's ball
 			// fuses to itself). Keep the K largest and stop.
 			cur = next
@@ -259,11 +279,10 @@ func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Res
 		prevKey = key
 		cur = next
 	}
+	dataset.SortPatterns(cur)
 	if len(cur) > cfg.K {
-		sortBySizeDesc(cur)
 		cur = cur[:cfg.K]
 	}
-	sortBySizeDesc(cur)
 	res.Patterns = cur
 	return res, nil
 }
@@ -290,34 +309,51 @@ func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Res
 func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCount int, radius float64, iteration int) (next []*dataset.Pattern, stopped bool) {
 	seedIdx := rng.Stream(cfg.Seed, uint64(iteration)).SampleInts(len(pool), cfg.K)
 	perSeed := make([][]*dataset.Pattern, len(seedIdx))
-	fuseSlot := func(slot int) {
+	fuseSlot := func(slot int, sc *fuseScratch) {
 		r := rng.Stream(cfg.Seed, uint64(iteration), uint64(slot))
 		seed := pool[seedIdx[slot]]
-		// The ball: all pool patterns within distance r(τ) of the seed
-		// (the seed's CoreList in the paper's terms).
-		var ball []*dataset.Pattern
+		// The ball: all pool patterns within distance r(τ) of the seed (the
+		// seed's CoreList in the paper's terms). Membership is decided by
+		// count algebra instead of a full word-by-word Jaccard per pair:
+		// Dist(α,β) ≤ r iff |Dα∩Dβ| ≥ i*, where i* depends only on the two
+		// support counts (ballThreshold). Pairs whose supports are too far
+		// apart (1 − min/max > r) are rejected without touching a single
+		// word, and the rest run AndCountAtLeast, which stops as soon as the
+		// bound is decided either way.
+		sa := seed.Support()
+		ball := sc.ball[:0]
 		for _, p := range pool {
-			if p != seed && seed.Distance(p) <= radius {
+			if p == seed {
+				continue
+			}
+			t := ballThreshold(sa, p.Support(), radius)
+			if t < 0 {
+				continue
+			}
+			if seed.TIDs.AndCountAtLeast(p.TIDs, t) {
 				ball = append(ball, p)
 			}
 		}
+		sc.ball = ball
 		if cfg.MaxBallSize > 0 && len(ball) > cfg.MaxBallSize {
-			sampled := make([]*dataset.Pattern, 0, cfg.MaxBallSize)
+			sampled := sc.sample[:0]
 			for _, i := range r.SampleInts(len(ball), cfg.MaxBallSize) {
 				sampled = append(sampled, ball[i])
 			}
+			sc.sample = sampled
 			ball = sampled
 		}
-		perSeed[slot] = fuse(d, seed, ball, cfg, minCount, r)
+		perSeed[slot] = fuse(d, seed, ball, cfg, minCount, r, sc)
 	}
 
 	canceled := func() bool { return cfg.Canceled != nil && cfg.Canceled() }
 	if workers := min(cfg.workers(), len(seedIdx)); workers <= 1 {
+		sc := newFuseScratch(d)
 		for slot := range seedIdx {
 			if canceled() {
 				return nil, true
 			}
-			fuseSlot(slot)
+			fuseSlot(slot, sc)
 		}
 	} else {
 		slots := make(chan int)
@@ -326,8 +362,9 @@ func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCoun
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				sc := newFuseScratch(d) // per-worker scratch: no sharing, no locks
 				for slot := range slots {
-					fuseSlot(slot)
+					fuseSlot(slot, sc)
 				}
 			}()
 		}
@@ -351,13 +388,103 @@ func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCoun
 	if cfg.Elitism > 0 {
 		// Shield the largest patterns found so far from seed-lottery death.
 		elite := append([]*dataset.Pattern(nil), pool...)
-		sortBySizeDesc(elite)
+		dataset.SortPatterns(elite)
 		if len(elite) > cfg.Elitism {
 			elite = elite[:cfg.Elitism]
 		}
 		next = append(next, elite...)
 	}
 	return dataset.DedupPatterns(next), false
+}
+
+// ballThreshold returns the minimal intersection count i* such that
+// 1 − i/(sa+sb−i) ≤ radius — evaluated with the exact float64 arithmetic of
+// Bitset.Distance, so AndCountAtLeast(…, i*) reproduces the naive
+// Distance ≤ radius test bit for bit — or −1 when no i ≤ min(sa,sb)
+// satisfies it (the pair cannot be within the ball no matter how the
+// support sets overlap; this is the 1 − min/max > r prefilter).
+//
+// The count algebra: Dist ≤ r ⟺ |Dα∩Dβ| ≥ (1−r)·|Dα∪Dβ| with
+// |Dα∪Dβ| = sa+sb−|Dα∩Dβ|, and the left side of the predicate is monotone
+// in the intersection count, so i* is found by binary search on the exact
+// predicate (≈ log₂ min(sa,sb) float divisions, no bitset words touched).
+func ballThreshold(sa, sb int, radius float64) int {
+	smin := sa
+	if sb < smin {
+		smin = sb
+	}
+	pred := func(i int) bool {
+		union := sa + sb - i
+		if union == 0 {
+			return true // both supports empty: Jaccard 1, distance 0
+		}
+		return 1-float64(i)/float64(union) <= radius
+	}
+	if !pred(smin) {
+		return -1
+	}
+	lo, hi := 0, smin
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if pred(mid) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// fuseScratch holds the per-worker reusable buffers that make a fusion draw
+// allocation-free: the ball and its sample, the shuffle order, the working
+// TID set, the double-buffered itemset union, the counting closure, and the
+// per-seed supers map. One scratch is owned by exactly one worker goroutine.
+type fuseScratch struct {
+	ball   []*dataset.Pattern
+	sample []*dataset.Pattern
+	order  []int
+	tids   *bitset.Bitset
+	itemsA itemset.Itemset
+	itemsB itemset.Itemset
+	closer *dataset.Closer
+	supers map[itemset.Fingerprint]super
+}
+
+type super struct {
+	p     *dataset.Pattern
+	fused int // |t_βi|: how many ball members were fused in
+}
+
+func newFuseScratch(d *dataset.Dataset) *fuseScratch {
+	return &fuseScratch{
+		tids:   bitset.New(d.Size()),
+		closer: dataset.NewCloser(d),
+		supers: make(map[itemset.Fingerprint]super),
+	}
+}
+
+// unionInto writes a ∪ b into dst (reused, must not alias a or b) and
+// returns it.
+func unionInto(dst, a, b itemset.Itemset) itemset.Itemset {
+	dst = dst[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			dst = append(dst, a[i])
+			i++
+		case a[i] > b[j]:
+			dst = append(dst, b[j])
+			j++
+		default:
+			dst = append(dst, a[i])
+			i++
+			j++
+		}
+	}
+	dst = append(dst, a[i:]...)
+	dst = append(dst, b[j:]...)
+	return dst
 }
 
 // fuse generates super-patterns from a seed and its ball (Section 4,
@@ -369,26 +496,43 @@ func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCoun
 // sampled with probability proportional to the number of core patterns
 // they fused (patterns of larger core-sets are kept with higher
 // probability, steering the search toward colossal patterns).
-func fuse(d *dataset.Dataset, seed *dataset.Pattern, ball []*dataset.Pattern, cfg Config, minCount int, r *rng.RNG) []*dataset.Pattern {
+func fuse(d *dataset.Dataset, seed *dataset.Pattern, ball []*dataset.Pattern, cfg Config, minCount int, r *rng.RNG, sc *fuseScratch) []*dataset.Pattern {
 	if len(ball) == 0 {
 		return []*dataset.Pattern{seed}
 	}
-	type super struct {
-		p     *dataset.Pattern
-		fused int // |t_βi|: how many ball members were fused in
+	supers := sc.supers
+	clear(supers)
+
+	// emit records a super-pattern candidate, cloning the scratch-backed
+	// items and tids only when the candidate is new; repeated draws landing
+	// on the same super-pattern (the common case late in a run) cost one
+	// fingerprint and a map probe, no allocation. Replaying a draw with a
+	// larger fused count keeps the existing pattern — identical itemsets
+	// have identical support sets (Lemma 1), so only the weight changes.
+	emit := func(items itemset.Itemset, tids *bitset.Bitset, sup, fused int) {
+		fp := items.Fingerprint()
+		prev, ok := supers[fp]
+		switch {
+		case !ok:
+			supers[fp] = super{p: dataset.NewPatternCounted(items.Clone(), tids.Clone(), sup), fused: fused}
+		case fused > prev.fused:
+			prev.fused = fused
+			supers[fp] = prev
+		}
 	}
-	supers := make(map[string]super)
 
 	// The seed's own closure is always a candidate: it is the closed
 	// pattern with the seed's exact support set, which is how mid-level
 	// colossal patterns (whose supersets are still frequent, so saturating
 	// merges would always run past them) get generated.
 	if cfg.CloseFused && !seed.TIDs.Empty() {
-		c := closureOf(d, seed.TIDs)
-		supers[c.Key()] = super{p: &dataset.Pattern{Items: c, TIDs: seed.TIDs.Clone()}, fused: 0}
+		emit(sc.closer.Closure(seed.TIDs), seed.TIDs, seed.Support(), 0)
 	}
 
-	order := make([]int, len(ball))
+	if cap(sc.order) < len(ball) {
+		sc.order = make([]int, len(ball))
+	}
+	order := sc.order[:len(ball)]
 	for i := range order {
 		order[i] = i
 	}
@@ -404,9 +548,11 @@ func fuse(d *dataset.Dataset, seed *dataset.Pattern, ball []*dataset.Pattern, cf
 		// occur with non-vanishing probability even for huge balls, while
 		// deep passes still reach the largest unions.
 		budget := 1 << uint(r.Intn(maxExp+1))
-		items := seed.Items
-		tids := seed.TIDs.Clone()
-		sup := tids.Count()
+		items := append(sc.itemsA[:0], seed.Items...)
+		spare := sc.itemsB
+		tids := sc.tids
+		tids.CopyFrom(seed.TIDs)
+		sup := seed.Support()
 		maxMemberSup := sup
 		fused := 0
 		for _, bi := range order {
@@ -432,7 +578,7 @@ func fuse(d *dataset.Dataset, seed *dataset.Pattern, ball []*dataset.Pattern, cf
 			if float64(nsup) < cfg.Tau*float64(limit) {
 				continue
 			}
-			items = items.Union(b.Items)
+			items, spare = unionInto(spare, items, b.Items), items
 			tids.InPlaceAnd(b.TIDs)
 			sup = nsup
 			if bSup > maxMemberSup {
@@ -440,14 +586,15 @@ func fuse(d *dataset.Dataset, seed *dataset.Pattern, ball []*dataset.Pattern, cf
 			}
 			fused++
 		}
+		// Keep the two (possibly grown) buffers for the next draw; which
+		// lineage ends up in which field is irrelevant, they only need to
+		// stay distinct.
+		sc.itemsA, sc.itemsB = items, spare
 		if cfg.CloseFused && !tids.Empty() {
 			// Canonicalize to the closed pattern with the same support set.
-			items = closureOf(d, tids)
+			items = sc.closer.Closure(tids)
 		}
-		key := items.Key()
-		if prev, ok := supers[key]; !ok || fused > prev.fused {
-			supers[key] = super{p: &dataset.Pattern{Items: items, TIDs: tids}, fused: fused}
-		}
+		emit(items, tids, sup, fused)
 	}
 	out := make([]super, 0, len(supers))
 	for _, s := range supers {
@@ -477,35 +624,28 @@ func fuse(d *dataset.Dataset, seed *dataset.Pattern, ball []*dataset.Pattern, cf
 	return ps
 }
 
-func sortBySizeDesc(ps []*dataset.Pattern) {
-	sort.Slice(ps, func(i, j int) bool {
-		if len(ps[i].Items) != len(ps[j].Items) {
-			return len(ps[i].Items) > len(ps[j].Items)
-		}
-		si, sj := ps[i].Support(), ps[j].Support()
-		if si != sj {
-			return si > sj
-		}
-		return itemset.CompareLex(ps[i].Items, ps[j].Items) < 0
-	})
+// poolFingerprints summarizes a pool's itemset contents, independent of
+// order, as a sorted fingerprint slice; consecutive pools compare equal iff
+// they hold the same itemsets (fingerprint collisions aside).
+func poolFingerprints(ps []*dataset.Pattern) []itemset.Fingerprint {
+	fps := make([]itemset.Fingerprint, len(ps))
+	for i, p := range ps {
+		fps[i] = p.Items.Fingerprint()
+	}
+	sort.Slice(fps, func(i, j int) bool { return fps[i].Less(fps[j]) })
+	return fps
 }
 
-// poolKey fingerprints a pool's itemset contents, independent of order.
-func poolKey(ps []*dataset.Pattern) string {
-	keys := make([]string, len(ps))
-	total := 0
-	for i, p := range ps {
-		keys[i] = p.Items.Key()
-		total += len(keys[i]) + 1
+func fingerprintsEqual(a, b []itemset.Fingerprint) bool {
+	if len(a) != len(b) {
+		return false
 	}
-	sort.Strings(keys)
-	var sb strings.Builder
-	sb.Grow(total)
-	for _, k := range keys {
-		sb.WriteString(k)
-		sb.WriteByte(';')
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
 	}
-	return sb.String()
+	return true
 }
 
 // IsCore reports whether beta is a τ-core pattern of alpha in d
@@ -595,18 +735,3 @@ func ComplementarySets(d *dataset.Dataset, alpha itemset.Itemset, tau float64) i
 // Distance is the pattern distance of Definition 6 computed directly from
 // two support sets.
 func Distance(a, b *bitset.Bitset) float64 { return a.Distance(b) }
-
-// closureOf computes the intersection of the transactions in tids.
-// (Duplicated from the closed miners to keep this package's dependencies to
-// the substrate layers only.)
-func closureOf(d *dataset.Dataset, tids *bitset.Bitset) itemset.Itemset {
-	first := tids.NextSet(0)
-	if first < 0 {
-		return nil
-	}
-	closed := d.Transaction(first).Clone()
-	for tid := tids.NextSet(first + 1); tid >= 0 && len(closed) > 0; tid = tids.NextSet(tid + 1) {
-		closed = closed.Intersect(d.Transaction(tid))
-	}
-	return closed
-}

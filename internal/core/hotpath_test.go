@@ -1,0 +1,210 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/apriori"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// TestBallPruningMatchesNaiveDistance is the differential test for the
+// count-algebra ball search: for randomized pools and every τ, membership
+// decided by ballThreshold + AndCountAtLeast must equal the naive
+// Distance(seed, p) ≤ r(τ) scan, bit for bit (the threshold is derived from
+// the exact float64 predicate, so there is no tolerance here).
+func TestBallPruningMatchesNaiveDistance(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 20; trial++ {
+		nTxn := 10 + r.Intn(60)
+		nItems := 4 + r.Intn(12)
+		txns := make([][]int, nTxn)
+		for i := range txns {
+			l := 1 + r.Intn(nItems)
+			row := make([]int, 0, l)
+			for j := 0; j < l; j++ {
+				row = append(row, r.Intn(nItems))
+			}
+			txns[i] = row
+		}
+		d := dataset.MustNew(txns)
+		pool := apriori.MineUpTo(d, 1+r.Intn(3), 2).Patterns
+		if len(pool) < 2 {
+			continue
+		}
+		for _, tau := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+			radius := Radius(tau)
+			for _, seed := range pool {
+				sa := seed.Support()
+				for _, p := range pool {
+					if p == seed {
+						continue
+					}
+					naive := seed.Distance(p) <= radius
+					var pruned bool
+					if th := ballThreshold(sa, p.Support(), radius); th >= 0 {
+						pruned = seed.TIDs.AndCountAtLeast(p.TIDs, th)
+					}
+					if naive != pruned {
+						t.Fatalf("trial %d τ=%v: seed %v vs %v: naive %v, pruned %v (dist %v, r %v)",
+							trial, tau, seed.Items, p.Items, naive, pruned, seed.Distance(p), radius)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBallThresholdEdgeCases pins the empty-support conventions: two empty
+// supports are at distance 0 (in every ball), one empty support is at
+// distance 1 (in no ball, since r(τ) < 1).
+func TestBallThresholdEdgeCases(t *testing.T) {
+	radius := Radius(0.5)
+	if th := ballThreshold(0, 0, radius); th != 0 {
+		t.Fatalf("both empty: threshold %d, want 0", th)
+	}
+	if th := ballThreshold(0, 5, radius); th != -1 {
+		t.Fatalf("one empty: threshold %d, want -1", th)
+	}
+	if th := ballThreshold(5, 0, radius); th != -1 {
+		t.Fatalf("one empty (sym): threshold %d, want -1", th)
+	}
+	// τ=1 ⇒ r=0 ⇒ only identical support sets qualify: i* = sa = sb.
+	if th := ballThreshold(7, 7, Radius(1)); th != 7 {
+		t.Fatalf("r=0 equal supports: threshold %d, want 7", th)
+	}
+	if th := ballThreshold(7, 8, Radius(1)); th != -1 {
+		t.Fatalf("r=0 unequal supports: threshold %d, want -1", th)
+	}
+}
+
+// resultHash condenses a Result into a sha256 over every pattern's itemset
+// and support, in order.
+func resultHash(res *Result) string {
+	h := sha256.New()
+	for _, p := range res.Patterns {
+		fmt.Fprintf(h, "%s|%d;", p.Items.Key(), p.Support())
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// TestResultGoldenBitIdentical pins Result.Patterns to hashes recorded from
+// the pre-optimization implementation (PR 1, commit 89968c8): the cached
+// supports, pruned ball search, fingerprint dedup and scratch-buffer fusion
+// must reproduce the exact same patterns, supports, ordering and iteration
+// counts for fixed seeds. If an intentional algorithm change ever breaks
+// these, re-record the hashes and say so loudly in the commit message.
+func TestResultGoldenBitIdentical(t *testing.T) {
+	type golden struct {
+		seed  uint64
+		iters int
+		n     int
+		hash  string
+	}
+	diag := datagen.Diag(30)
+	diagCfg := DefaultConfig(20, 0)
+	diagCfg.MinCount = 15
+	diagCfg.InitPoolMaxSize = 2
+
+	check := func(t *testing.T, d *dataset.Dataset, cfg Config, g golden) {
+		t.Helper()
+		cfg.Seed = g.seed
+		res, err := Mine(d, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Iterations != g.iters || len(res.Patterns) != g.n {
+			t.Fatalf("seed %d: %d iterations / %d patterns, want %d / %d",
+				g.seed, res.Iterations, len(res.Patterns), g.iters, g.n)
+		}
+		if got := resultHash(res); got != g.hash {
+			t.Fatalf("seed %d: result hash %s, want %s", g.seed, got, g.hash)
+		}
+	}
+
+	t.Run("Diag30", func(t *testing.T) {
+		for _, g := range []golden{
+			{1, 7, 20, "b6f774123832f22d20319b1585428e1f7a81e9f594115087421a0d6a14e32c44"},
+			{7, 5, 20, "b576cc59b51776c7ae763cddc4ef07273df3d558539d884d90fddffce10b508c"},
+			{42, 5, 20, "c29944f103f8f83209eefd515ac7c81423476d17afe98532ab46d1d023687ea4"},
+		} {
+			check(t, diag, diagCfg, g)
+		}
+	})
+
+	t.Run("Replace", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("heavyweight workload")
+		}
+		d, _ := datagen.Replace(1)
+		cfg := DefaultConfig(50, 0.03)
+		for _, g := range []golden{
+			{1, 12, 50, "83f8767297d5d046ff2a7f30db9823978c0a705da51deeddb969e3bb9bcd9233"},
+			{7, 8, 50, "f92f3993fa9452bb3f4ef2ff90b9193abceb3ad69d3ef2d68bc5059ec3b5bde4"},
+		} {
+			check(t, d, cfg, g)
+		}
+	})
+
+	t.Run("Microarray", func(t *testing.T) {
+		if testing.Short() {
+			t.Skip("heavyweight workload")
+		}
+		d, _ := datagen.Microarray(1)
+		cfg := DefaultConfig(100, 0)
+		cfg.MinCount = 25
+		cfg.InitPoolMaxSize = 2
+		check(t, d, cfg, golden{1, 7, 100, "7c927868695c1c9d6345791e3fe9bd58b910a991322b7f9b3310352ebef175b0"})
+	})
+}
+
+// TestFuseScratchIsolation runs the same seed's fusion twice through one
+// scratch and interleaved with another seed, proving draws never leak state
+// between calls through the reused buffers.
+func TestFuseScratchIsolation(t *testing.T) {
+	d := datagen.Diag(20)
+	pool := apriori.MineUpTo(d, 10, 2).Patterns
+	for _, p := range pool {
+		p.EnsureSupport()
+	}
+	cfg := DefaultConfig(10, 0)
+	cfg.MinCount = 10
+	radius := Radius(cfg.Tau)
+
+	runSeed := func(sc *fuseScratch, seedPat *dataset.Pattern) []string {
+		r := rng.New(99)
+		sa := seedPat.Support()
+		ball := sc.ball[:0]
+		for _, p := range pool {
+			if p == seedPat {
+				continue
+			}
+			if th := ballThreshold(sa, p.Support(), radius); th >= 0 && seedPat.TIDs.AndCountAtLeast(p.TIDs, th) {
+				ball = append(ball, p)
+			}
+		}
+		sc.ball = ball
+		out := fuse(d, seedPat, ball, cfg, cfg.MinCount, r, sc)
+		keys := make([]string, len(out))
+		for i, p := range out {
+			keys[i] = fmt.Sprintf("%v|%d", p.Items, p.Support())
+		}
+		return keys
+	}
+
+	fresh := runSeed(newFuseScratch(d), pool[0])
+	shared := newFuseScratch(d)
+	runSeed(shared, pool[len(pool)-1]) // dirty the buffers with another seed
+	reused := runSeed(shared, pool[0])
+	if len(fresh) != len(reused) {
+		t.Fatalf("scratch reuse changed super count: %d vs %d", len(fresh), len(reused))
+	}
+	for i := range fresh {
+		if fresh[i] != reused[i] {
+			t.Fatalf("scratch reuse diverged at %d: %s vs %s", i, fresh[i], reused[i])
+		}
+	}
+}

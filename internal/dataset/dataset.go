@@ -7,7 +7,14 @@
 // The central derived object is the Pattern: an itemset α together with its
 // support set Dα (the set of transactions containing α) kept as a bitset, so
 // that s(α), Dist(α,β) (Definition 6) and support-set intersections during
-// fusion are all cheap.
+// fusion are all cheap. Patterns built through the constructors memoize
+// |Dα|, so the sort comparators and frequency checks sprinkled over every
+// miner read a cached integer instead of re-popcounting the bitset.
+//
+// The package also provides Closer, a reusable-buffer closure computer that
+// tallies item occurrences over the transactions of a support set — the
+// allocation-free replacement for the Intersect-chain Closure used by the
+// fusion engine's per-worker scratch state.
 package dataset
 
 import (
@@ -167,6 +174,70 @@ func (d *Dataset) Closure(alpha itemset.Itemset) itemset.Itemset {
 	return closed
 }
 
+// Closer computes transaction-set closures by occurrence counting with
+// reusable buffers: instead of chaining |D_α|−1 allocating Intersect calls
+// like Closure, it tallies, over the transactions of D_α, how often each
+// item of the first transaction occurs, and keeps the items seen in all of
+// them. One Closer serves many closure calls with zero steady-state
+// allocation; it is not safe for concurrent use (the fusion engine keeps
+// one per worker).
+type Closer struct {
+	d     *Dataset
+	count []int32
+	stamp []int32
+	gen   int32
+	buf   itemset.Itemset
+}
+
+// NewCloser returns a Closer for d.
+func NewCloser(d *Dataset) *Closer {
+	return &Closer{
+		d:     d,
+		count: make([]int32, d.NumItems()),
+		stamp: make([]int32, d.NumItems()),
+	}
+}
+
+// Closure returns the closure of the support set tids: the intersection of
+// its transactions, identical to Dataset.Closure on a non-empty tids. The
+// returned itemset is a reusable internal buffer — callers must clone it
+// before retaining it or calling Closure again. An empty tids yields nil.
+func (c *Closer) Closure(tids *bitset.Bitset) itemset.Itemset {
+	first := tids.NextSet(0)
+	if first < 0 {
+		return nil
+	}
+	cand := c.d.transactions[first]
+	c.gen++
+	if c.gen == 0 { // int32 wrap: invalidate all stamps explicitly
+		for i := range c.stamp {
+			c.stamp[i] = -1
+		}
+		c.gen = 1
+	}
+	for _, it := range cand {
+		c.stamp[it] = c.gen
+		c.count[it] = 0
+	}
+	var rest int32
+	for tid := tids.NextSet(first + 1); tid >= 0; tid = tids.NextSet(tid + 1) {
+		rest++
+		for _, it := range c.d.transactions[tid] {
+			if c.stamp[it] == c.gen {
+				c.count[it]++
+			}
+		}
+	}
+	out := c.buf[:0]
+	for _, it := range cand {
+		if c.count[it] == rest {
+			out = append(out, it)
+		}
+	}
+	c.buf = out
+	return out
+}
+
 // ItemFrequencies returns, for every item in the universe, its support
 // count.
 func (d *Dataset) ItemFrequencies() []int {
@@ -233,18 +304,64 @@ func (s Stats) String() string {
 
 // Pattern is a frequent itemset paired with its support set, the unit of
 // work for Pattern-Fusion and the closed/maximal miners.
+//
+// The support count |D_α| is memoized: constructors compute it once, and
+// Support serves it without re-popcounting the TID bitset — sort
+// comparators, the fusion core-ratio checks and the ball search all read
+// supports, so recounting dominated the hot path before the cache. Code
+// that builds a Pattern by struct literal still works (Support falls back
+// to counting, without caching, so shared patterns stay race-free), but the
+// mining paths should use NewPattern / NewPatternCounted / NewPatternTIDs.
 type Pattern struct {
 	Items itemset.Itemset
 	TIDs  *bitset.Bitset // D_α; never nil for patterns built via NewPattern
+	sup   int            // cached |D_α|+1; 0 means not computed
 }
 
 // NewPattern builds a Pattern for α against d, computing its support set.
 func NewPattern(d *Dataset, alpha itemset.Itemset) *Pattern {
-	return &Pattern{Items: alpha, TIDs: d.TIDSet(alpha)}
+	tids := d.TIDSet(alpha)
+	return &Pattern{Items: alpha, TIDs: tids, sup: tids.Count() + 1}
 }
 
-// Support returns |D_α|.
-func (p *Pattern) Support() int { return p.TIDs.Count() }
+// NewPatternTIDs builds a Pattern from an already-computed support set,
+// counting it once.
+func NewPatternTIDs(alpha itemset.Itemset, tids *bitset.Bitset) *Pattern {
+	return &Pattern{Items: alpha, TIDs: tids, sup: tids.Count() + 1}
+}
+
+// NewPatternCounted builds a Pattern from an already-computed support set
+// whose cardinality the caller already knows (count must equal
+// tids.Count(); the miners always have it in hand from a frequency test).
+func NewPatternCounted(alpha itemset.Itemset, tids *bitset.Bitset, count int) *Pattern {
+	return &Pattern{Items: alpha, TIDs: tids, sup: count + 1}
+}
+
+// Support returns |D_α|. Patterns built via the constructors serve the
+// memoized count; struct-literal patterns fall back to counting the bitset
+// on every call (no caching, so concurrent readers never race).
+func (p *Pattern) Support() int {
+	if p.sup > 0 {
+		return p.sup - 1
+	}
+	return p.TIDs.Count()
+}
+
+// SetSupport memoizes a known support count (must equal TIDs.Count()).
+func (p *Pattern) SetSupport(count int) { p.sup = count + 1 }
+
+// EnsureSupport memoizes the support count if it is not already cached.
+// Not safe to call concurrently on a shared pattern; the miners call it
+// while pools are still single-threaded.
+func (p *Pattern) EnsureSupport() {
+	if p.sup == 0 {
+		p.sup = p.TIDs.Count() + 1
+	}
+}
+
+// InvalidateSupport drops the memoized count; call it after mutating TIDs
+// in place (e.g. InPlaceAnd).
+func (p *Pattern) InvalidateSupport() { p.sup = 0 }
 
 // Size returns |α|.
 func (p *Pattern) Size() int { return len(p.Items) }
@@ -277,14 +394,16 @@ func SortPatterns(ps []*Pattern) {
 }
 
 // DedupPatterns removes patterns with duplicate itemsets, keeping the first
-// occurrence. Order of survivors is preserved.
+// occurrence. Order of survivors is preserved. Duplicates are detected by
+// 128-bit itemset fingerprint (see itemset.Fingerprint), not by string key,
+// so deduplication allocates only the map.
 func DedupPatterns(ps []*Pattern) []*Pattern {
-	seen := make(map[string]bool, len(ps))
+	seen := make(map[itemset.Fingerprint]bool, len(ps))
 	out := ps[:0]
 	for _, p := range ps {
-		k := p.Items.Key()
-		if !seen[k] {
-			seen[k] = true
+		f := p.Items.Fingerprint()
+		if !seen[f] {
+			seen[f] = true
 			out = append(out, p)
 		}
 	}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/itemset"
+	"repro/internal/rng"
 )
 
 // paperDB is the transaction database of Figure 3: four distinct
@@ -216,6 +217,147 @@ func TestTIDSetMatchesNaiveScan(t *testing.T) {
 		want := alpha.SubsetOf(d.Transaction(tid))
 		if tids.Test(tid) != want {
 			t.Fatalf("TIDSet disagrees with scan at tid %d", tid)
+		}
+	}
+}
+
+// TestCloserMatchesClosure is the differential test for the counting-based
+// closure: on randomized datasets, Closer.Closure must equal the naive
+// intersection-chain Dataset.Closure for every frequent itemset's support
+// set (and for single-transaction and empty supports).
+func TestCloserMatchesClosure(t *testing.T) {
+	r := rng.New(11)
+	for trial := 0; trial < 30; trial++ {
+		nTxn := 5 + r.Intn(40)
+		nItems := 3 + r.Intn(20)
+		txns := make([][]int, nTxn)
+		for i := range txns {
+			l := r.Intn(nItems)
+			row := make([]int, 0, l)
+			for j := 0; j < l; j++ {
+				row = append(row, r.Intn(nItems))
+			}
+			txns[i] = row
+		}
+		d := MustNew(txns)
+		closer := NewCloser(d)
+		// Probe with every single item, random pairs, and random triples.
+		var probes []itemset.Itemset
+		for it := 0; it < d.NumItems(); it++ {
+			probes = append(probes, itemset.Itemset{it})
+		}
+		for k := 0; k < 20; k++ {
+			probes = append(probes, itemset.Canonical([]int{r.Intn(nItems), r.Intn(nItems), r.Intn(nItems)}))
+		}
+		for _, alpha := range probes {
+			tids := d.TIDSet(alpha)
+			want := d.Closure(alpha)
+			got := closer.Closure(tids)
+			if tids.Count() == 0 {
+				// Closure returns alpha itself on empty support; Closer
+				// (which only sees the TID set) returns nil. Both mean
+				// "no supporting transactions".
+				if got != nil {
+					t.Fatalf("trial %d: Closure of empty support = %v, want nil", trial, got)
+				}
+				continue
+			}
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: counting closure of %v = %v, want %v", trial, alpha, got, want)
+			}
+		}
+	}
+}
+
+// TestCloserReusesBuffer documents the aliasing contract: the returned
+// itemset is invalidated by the next Closure call.
+func TestCloserReusesBuffer(t *testing.T) {
+	d := paperDB(t)
+	closer := NewCloser(d)
+	a := closer.Closure(d.TIDSet(itemset.Itemset{0, 1, 3}))
+	cloned := a.Clone()
+	closer.Closure(d.TIDSet(itemset.Itemset{2}))
+	if !cloned.Equal(d.Closure(itemset.Itemset{0, 1, 3})) {
+		t.Fatal("cloned closure corrupted")
+	}
+}
+
+// TestPatternSupportMemo pins the support cache semantics: constructors
+// memoize, struct literals fall back to counting, SetSupport/Invalidate
+// behave as documented.
+func TestPatternSupportMemo(t *testing.T) {
+	d := paperDB(t)
+	p := NewPattern(d, itemset.Itemset{0, 1})
+	if p.Support() != 200 {
+		t.Fatalf("Support = %d, want 200", p.Support())
+	}
+	lit := &Pattern{Items: itemset.Itemset{0, 1}, TIDs: d.TIDSet(itemset.Itemset{0, 1})}
+	if lit.Support() != 200 {
+		t.Fatalf("literal Support = %d, want 200", lit.Support())
+	}
+	// A literal pattern must not cache: mutating TIDs in place is visible.
+	lit.TIDs.Clear(lit.TIDs.NextSet(0))
+	if lit.Support() != 199 {
+		t.Fatalf("literal Support after Clear = %d, want 199", lit.Support())
+	}
+	// A constructor-built pattern caches; invalidation re-counts.
+	p.TIDs.Clear(p.TIDs.NextSet(0))
+	if p.Support() != 200 {
+		t.Fatalf("cached Support changed without invalidation: %d", p.Support())
+	}
+	p.InvalidateSupport()
+	if p.Support() != 199 {
+		t.Fatalf("Support after invalidation = %d, want 199", p.Support())
+	}
+	p.SetSupport(42)
+	if p.Support() != 42 {
+		t.Fatalf("SetSupport not honored: %d", p.Support())
+	}
+	q := NewPatternCounted(itemset.Itemset{7}, d.TIDSet(itemset.Itemset{0}), 100)
+	if q.Support() != 100 {
+		t.Fatalf("NewPatternCounted Support = %d", q.Support())
+	}
+	e := &Pattern{Items: nil, TIDs: d.TIDSet(itemset.Itemset{0, 1, 2, 3, 4})}
+	e.EnsureSupport()
+	if e.Support() != 100 {
+		t.Fatalf("EnsureSupport = %d, want 100", e.Support())
+	}
+}
+
+// TestDedupPatternsMatchesStringKeys is the differential test for the
+// fingerprint-keyed dedup: on randomized pattern lists it must keep exactly
+// the patterns a string-keyed dedup keeps, in the same order.
+func TestDedupPatternsMatchesStringKeys(t *testing.T) {
+	r := rng.New(23)
+	d := paperDB(t)
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + r.Intn(60)
+		ps := make([]*Pattern, 0, n)
+		for i := 0; i < n; i++ {
+			l := r.Intn(4)
+			raw := make([]int, 0, l)
+			for j := 0; j < l; j++ {
+				raw = append(raw, r.Intn(5))
+			}
+			ps = append(ps, NewPattern(d, itemset.Canonical(raw)))
+		}
+		// Naive string-keyed dedup, first occurrence wins.
+		seen := make(map[string]bool)
+		var want []*Pattern
+		for _, p := range ps {
+			if !seen[p.Items.Key()] {
+				seen[p.Items.Key()] = true
+				want = append(want, p)
+			}
+		}
+		got := DedupPatterns(ps)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: dedup kept %d, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: survivor %d is %v, want %v", trial, i, got[i].Items, want[i].Items)
+			}
 		}
 	}
 }

@@ -76,7 +76,7 @@ func (m *miner) search(prefix itemset.Itemset, class []extension) {
 	}
 	for i, ext := range class {
 		items := prefix.Add(ext.item)
-		m.res.Patterns = append(m.res.Patterns, &dataset.Pattern{Items: items, TIDs: ext.tids.Clone()})
+		m.res.Patterns = append(m.res.Patterns, dataset.NewPatternTIDs(items, ext.tids.Clone()))
 		if m.opts.MaxSize > 0 && len(items) >= m.opts.MaxSize {
 			continue
 		}

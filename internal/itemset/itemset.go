@@ -5,8 +5,10 @@
 // canonical representation of the paper's itemsets α ⊆ I (Section 2.1).
 // The package supplies the set operations the algorithms need (union,
 // intersection, difference, subset tests), the itemset edit distance of
-// Definition 8 (Edit(α,β) = |α∪β| − |α∩β|), and canonical string keys for
-// hashing patterns.
+// Definition 8 (Edit(α,β) = |α∪β| − |α∩β|), and two ways of keying itemsets
+// in maps: human-readable canonical string keys (Key/ParseKey, for tests
+// and I/O) and allocation-free 128-bit Fingerprints (for the mining hot
+// paths).
 package itemset
 
 import (
@@ -241,6 +243,59 @@ func (s Itemset) Key() string {
 		sb.WriteString(strconv.Itoa(v))
 	}
 	return sb.String()
+}
+
+// Fingerprint is a 128-bit FNV-style hash of an itemset's contents, usable
+// directly as a comparable map key. It replaces decimal string keys in the
+// mining hot paths: computing one walks the itemset once with no allocation,
+// whereas Key materializes a fresh string per lookup.
+//
+// The two halves are independent 64-bit FNV-1a streams over the item IDs
+// (eight bytes each, preceded by the length), using different offset bases,
+// so two distinct canonical itemsets collide only with probability ~2⁻¹²⁸ —
+// negligible against the pool sizes (≤ millions) any miner here produces.
+type Fingerprint struct {
+	Hi, Lo uint64
+}
+
+const (
+	fnvOffset64 = 0xcbf29ce484222325
+	fnvPrime64  = 0x100000001b3
+	// Second stream: a distinct offset basis (the FNV basis XOR a golden-ratio
+	// constant) decorrelates the two halves while sharing the cheap prime.
+	fnvOffsetAlt = fnvOffset64 ^ 0x9e3779b97f4a7c15
+)
+
+// Fingerprint returns the 128-bit fingerprint of s. Equal itemsets always
+// yield equal fingerprints; distinct itemsets collide with negligible
+// probability. The empty itemset has a well-defined fingerprint too.
+func (s Itemset) Fingerprint() Fingerprint {
+	hi := uint64(fnvOffset64)
+	lo := uint64(fnvOffsetAlt)
+	mix := func(h, v uint64) uint64 {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= fnvPrime64
+			v >>= 8
+		}
+		return h
+	}
+	hi = mix(hi, uint64(len(s)))
+	lo = mix(lo, uint64(len(s)))
+	for _, it := range s {
+		hi = mix(hi, uint64(it))
+		lo = mix(lo, uint64(it))
+	}
+	return Fingerprint{Hi: hi, Lo: lo}
+}
+
+// Less orders fingerprints lexicographically on (Hi, Lo); used to sort
+// fingerprint slices deterministically.
+func (f Fingerprint) Less(g Fingerprint) bool {
+	if f.Hi != g.Hi {
+		return f.Hi < g.Hi
+	}
+	return f.Lo < g.Lo
 }
 
 // ParseKey parses a key produced by Key back into an itemset.

@@ -277,3 +277,52 @@ func TestEditDistanceMetricQuick(t *testing.T) {
 		t.Fatalf("edit distance is not a metric: %v", err)
 	}
 }
+
+// TestFingerprintMatchesKeyDedup proves the 128-bit fingerprint
+// distinguishes itemsets exactly as the canonical string key does on a
+// randomized corpus: equal keys ⇔ equal fingerprints.
+func TestFingerprintMatchesKeyDedup(t *testing.T) {
+	err := quick.Check(func(raws [][]int) bool {
+		byKey := make(map[string]Fingerprint)
+		for _, raw := range raws {
+			s := Canonical(raw)
+			f := s.Fingerprint()
+			if prev, ok := byKey[s.Key()]; ok && prev != f {
+				t.Logf("same key %q, different fingerprints", s.Key())
+				return false
+			}
+			byKey[s.Key()] = f
+		}
+		seen := make(map[Fingerprint]string)
+		for k, f := range byKey {
+			if prev, ok := seen[f]; ok && prev != k {
+				t.Logf("fingerprint collision: %q vs %q", prev, k)
+				return false
+			}
+			seen[f] = k
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFingerprintSensitivity checks the cheap structural cases string keys
+// get right: permutation-invariance via Canonical, length sensitivity, and
+// prefix/suffix distinctions.
+func TestFingerprintSensitivity(t *testing.T) {
+	a := Itemset{1, 2, 3}
+	if a.Fingerprint() != Canonical([]int{3, 2, 1}).Fingerprint() {
+		t.Fatal("canonicalized permutation changed the fingerprint")
+	}
+	distinct := []Itemset{nil, {0}, {1}, {0, 1}, {1, 2}, {1, 2, 3}, {1, 2, 4}, {12, 3}, {1, 23}}
+	seen := make(map[Fingerprint]Itemset)
+	for _, s := range distinct {
+		f := s.Fingerprint()
+		if prev, ok := seen[f]; ok {
+			t.Fatalf("collision between %v and %v", prev, s)
+		}
+		seen[f] = s
+	}
+}

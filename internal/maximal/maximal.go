@@ -58,7 +58,8 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 
 	var tail []extension
 	for _, item := range d.FrequentItems(opts.MinCount) {
-		tail = append(tail, extension{item: item, tids: d.ItemTIDs(item).Clone()})
+		tids := d.ItemTIDs(item).Clone()
+		tail = append(tail, extension{item: item, tids: tids, sup: tids.Count()})
 	}
 	if len(tail) == 0 {
 		return m.res
@@ -72,6 +73,7 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 type extension struct {
 	item int
 	tids *bitset.Bitset
+	sup  int // cached |tids|: read by the reordering comparator
 }
 
 type miner struct {
@@ -114,13 +116,14 @@ func (m *miner) subsumed(bits *bitset.Bitset) bool {
 	return false
 }
 
-// record adds items to the MFI if it is not subsumed.
-func (m *miner) record(items itemset.Itemset, tids *bitset.Bitset) {
+// record adds items to the MFI if it is not subsumed. sup is |tids|, which
+// every call site already has in hand.
+func (m *miner) record(items itemset.Itemset, tids *bitset.Bitset, sup int) {
 	bits := m.itemBitsOf(items)
 	if m.subsumed(bits) {
 		return
 	}
-	p := &dataset.Pattern{Items: items, TIDs: tids.Clone()}
+	p := dataset.NewPatternCounted(items, tids.Clone(), sup)
 	m.mfi = append(m.mfi, itemBits{pattern: p, bits: bits})
 	m.res.Patterns = append(m.res.Patterns, p)
 }
@@ -136,6 +139,7 @@ func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extensi
 
 	// Compute frequent extensions relative to head; PEP-absorb equal-support
 	// ones directly into the head.
+	headSup := tids.Count()
 	var exts []extension
 	for _, e := range tail {
 		sub := tids.And(e.tids)
@@ -143,17 +147,17 @@ func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extensi
 		if c < m.opts.MinCount {
 			continue
 		}
-		if c == tids.Count() {
+		if c == headSup {
 			// PEP: D_head ⊆ D_item, so every maximal superset of head
 			// includes this item.
 			head = head.Add(e.item)
 			continue
 		}
-		exts = append(exts, extension{item: e.item, tids: sub})
+		exts = append(exts, extension{item: e.item, tids: sub, sup: c})
 	}
 
 	if len(exts) == 0 {
-		m.record(head, tids)
+		m.record(head, tids, headSup)
 		return
 	}
 
@@ -167,24 +171,26 @@ func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extensi
 		return
 	}
 	hutTids := tids.Clone()
+	hutSup := 0
 	for _, e := range exts {
 		hutTids.InPlaceAnd(e.tids)
-		if hutTids.Count() < m.opts.MinCount {
+		if hutSup = hutTids.Count(); hutSup < m.opts.MinCount {
 			hutTids = nil
 			break
 		}
 	}
 	if hutTids != nil {
 		// FHUT: head ∪ tail is frequent — the unique maximal candidate here.
-		m.record(hut, hutTids)
+		m.record(hut, hutTids, hutSup)
 		return
 	}
 
-	// Dynamic reordering: most constrained (lowest support) first.
+	// Dynamic reordering: most constrained (lowest support) first, using the
+	// supports cached when the extensions were gathered (the comparator used
+	// to re-popcount both tidsets on every comparison).
 	sort.Slice(exts, func(i, j int) bool {
-		ci, cj := exts[i].tids.Count(), exts[j].tids.Count()
-		if ci != cj {
-			return ci < cj
+		if exts[i].sup != exts[j].sup {
+			return exts[i].sup < exts[j].sup
 		}
 		return exts[i].item < exts[j].item
 	})

@@ -1,0 +1,57 @@
+// Package profiling wires the standard -cpuprofile/-memprofile flags into
+// the CLI tools, so hot-path regressions can be diagnosed with `go tool
+// pprof` against a real mining run instead of editing benchmark code.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling (when cpuPath is non-empty) and returns a stop
+// function that finishes the CPU profile and, when memPath is non-empty,
+// writes an allocs-space heap profile. Either path may be empty; the stop
+// function is always safe to call exactly once. Errors are fatal: a
+// requested profile that cannot be written would silently void the
+// measurement.
+func Start(cpuPath, memPath string) (stop func()) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // materialize up-to-date allocation statistics
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "profiling: %v\n", err)
+	os.Exit(1)
+}

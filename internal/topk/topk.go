@@ -103,7 +103,7 @@ func (m *miner) offer(c itemset.Itemset, tids *bitset.Bitset) {
 	if len(m.heap) == m.opts.K && sup <= m.heap[0].Support() {
 		return
 	}
-	heap.Push(&m.heap, &dataset.Pattern{Items: c, TIDs: tids.Clone()})
+	heap.Push(&m.heap, dataset.NewPatternCounted(c, tids.Clone(), sup))
 	if len(m.heap) > m.opts.K {
 		heap.Pop(&m.heap)
 	}

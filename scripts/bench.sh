@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# bench.sh — run the key Pattern-Fusion benchmarks and record them as JSON.
+#
+# Usage:
+#   scripts/bench.sh [output.json]        # default output: BENCH_1.json
+#   BENCHTIME=5x scripts/bench.sh         # more iterations for stabler numbers
+#   BENCH_FILTER='BenchmarkMine' scripts/bench.sh   # widen/narrow the set
+#
+# The recorded benchmarks are BenchmarkMineReplace and
+# BenchmarkMineMicroarray at p=1 and p=N — the end-to-end fusion hot path
+# the perf trajectory (BENCH_*.json, one file per PR that moves the needle)
+# is tracked against. ns/op, B/op and allocs/op come from -benchmem.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_1.json}"
+benchtime="${BENCHTIME:-3x}"
+filter="${BENCH_FILTER:-BenchmarkMineReplace|BenchmarkMineMicroarray}"
+
+raw=$(go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" .)
+printf '%s\n' "$raw" >&2
+
+{
+  printf '{\n'
+  printf '  "benchtime": "%s",\n' "$benchtime"
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '%s\n' "$raw" | awk '
+    /^goos:/   { printf "  \"goos\": \"%s\",\n", $2 }
+    /^goarch:/ { printf "  \"goarch\": \"%s\",\n", $2 }
+    /^cpu:/    { sub(/^cpu: */, ""); gsub(/"/, "\\\""); printf "  \"cpu\": \"%s\",\n", $0 }
+  '
+  printf '  "benchmarks": [\n'
+  printf '%s\n' "$raw" | awk '
+    /^Benchmark/ {
+      if (seen) printf ",\n"
+      seen = 1
+      printf "    {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}", $1, $2, $3, $5, $7
+    }
+    END { if (seen) printf "\n" }
+  '
+  printf '  ]\n'
+  printf '}\n'
+} > "$out"
+
+echo "wrote $out" >&2
