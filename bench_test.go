@@ -7,6 +7,7 @@
 package patternfusion_test
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -70,7 +71,7 @@ func BenchmarkIntroDiagPlusFusion(b *testing.B) {
 		cfg.MinCount = 20
 		cfg.InitPoolMaxSize = 2
 		cfg.Seed = uint64(i + 1)
-		res, err := core.Mine(d, cfg)
+		res, err := core.Mine(context.Background(), d, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -112,7 +113,7 @@ func BenchmarkFig6FusionDiag(b *testing.B) {
 				cfg.MinCount = n / 2
 				cfg.InitPoolMaxSize = 2
 				cfg.Seed = uint64(i + 1)
-				if _, err := core.Mine(d, cfg); err != nil {
+				if _, err := core.Mine(context.Background(), d, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -136,7 +137,7 @@ func BenchmarkFig7ApproxErrorDiag40(b *testing.B) {
 		cfg.MinCount = 20
 		cfg.InitPoolMaxSize = 2
 		cfg.Seed = uint64(i + 1)
-		res, err := core.Mine(d, cfg)
+		res, err := core.Mine(context.Background(), d, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +164,7 @@ func BenchmarkFig8ApproxErrorReplace(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := core.DefaultConfig(100, 0.03)
 		cfg.Seed = uint64(i + 1)
-		res, err := core.Mine(d, cfg)
+		res, err := core.Mine(context.Background(), d, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -198,7 +199,7 @@ func BenchmarkFig9MicroarrayComparison(b *testing.B) {
 		cfg.MinCount = 30
 		cfg.InitPoolMaxSize = 2
 		cfg.Seed = uint64(i + 1)
-		res, err := core.Mine(d, cfg)
+		res, err := core.Mine(context.Background(), d, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -232,7 +233,7 @@ func BenchmarkFig10FusionALL(b *testing.B) {
 				cfg.MinCount = mc
 				cfg.InitPoolMaxSize = 2
 				cfg.Seed = uint64(i + 1)
-				if _, err := core.Mine(d, cfg); err != nil {
+				if _, err := core.Mine(context.Background(), d, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -257,7 +258,7 @@ func BenchmarkFig10TopKALL(b *testing.B) {
 	for _, mc := range []int{31, 28, 25} {
 		b.Run(byMinCount(mc), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				topk.MineOpts(d, topk.Options{K: 5000, MinLength: 5, FloorMin: mc})
+				topk.MineOpts(context.Background(), d, topk.Options{K: 5000, MinLength: 5, FloorMin: mc})
 			}
 		})
 	}
@@ -276,7 +277,7 @@ func ablationRun(b *testing.B, mutate func(*core.Config)) {
 		cfg := core.DefaultConfig(100, 0.03)
 		cfg.Seed = uint64(i + 1)
 		mutate(&cfg)
-		res, err := core.Mine(d, cfg)
+		res, err := core.Mine(context.Background(), d, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -350,7 +351,7 @@ func benchMineParallelism(b *testing.B, d *dataset.Dataset, mkCfg func() core.Co
 			for i := 0; i < b.N; i++ {
 				cfg := mkCfg()
 				cfg.Parallelism = par
-				if _, err := core.Mine(d, cfg); err != nil {
+				if _, err := core.Mine(context.Background(), d, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -494,7 +495,7 @@ func BenchmarkPublicAPIQuickMine(b *testing.B) {
 		cfg := patternfusion.DefaultConfig(10, 0)
 		cfg.MinCount = 10
 		cfg.Seed = uint64(i + 1)
-		if _, err := patternfusion.Mine(db, cfg); err != nil {
+		if _, err := patternfusion.Mine(context.Background(), db, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}

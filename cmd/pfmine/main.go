@@ -1,20 +1,25 @@
-// Command pfmine mines a FIMI-format transaction database with any of the
-// algorithms in this repository: Pattern-Fusion (the paper's contribution)
-// or the exact baselines it is evaluated against.
+// Command pfmine mines a FIMI-format transaction database with any
+// algorithm registered in the engine: Pattern-Fusion (the paper's
+// contribution) or the exact baselines it is evaluated against. The -algo
+// dispatch iterates the registry, so every miner in the repository —
+// including fpgrowth — is reachable with the same shared flags.
 //
 // Usage:
 //
-//	pfmine -algo fusion  -minsup 0.03 -k 100 -tau 0.5 data.dat
-//	pfmine -algo closed  -mincount 132 data.dat
-//	pfmine -algo maximal -minsup 0.5 -budget 10s data.dat
-//	pfmine -algo topk    -k 20 -minlen 5 data.dat
-//	pfmine -algo apriori -minsup 0.1 -maxsize 3 data.dat
+//	pfmine -algo fusion   -minsup 0.03 -k 100 -tau 0.5 data.dat
+//	pfmine -algo closed   -mincount 132 data.dat
+//	pfmine -algo fpgrowth -minsup 0.1 -maxsize 3 data.dat
+//	pfmine -algo maximal  -minsup 0.5 -budget 10s data.dat
+//	pfmine -algo topk     -k 20 -minlen 5 data.dat
 //
 // Output: one pattern per line, "item item … # support=N size=M", largest
-// patterns first. Use -top to truncate the listing.
+// patterns first. Use -top to truncate the listing, -budget for a
+// deadline (partial results are reported), and -progress to stream
+// structured progress events to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -22,31 +27,33 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/apriori"
-	"repro/internal/carpenter"
-	"repro/internal/charm"
-	"repro/internal/core"
 	"repro/internal/dataset"
-	"repro/internal/eclat"
-	"repro/internal/maximal"
+	"repro/internal/engine"
+	_ "repro/internal/engine/all"
 	"repro/internal/profiling"
-	"repro/internal/topk"
 )
+
+// algoUsage derives the -algo help text from the registry, so the CLI
+// help can never drift from the set of reachable algorithms.
+func algoUsage() string {
+	return "algorithm: " + strings.Join(engine.Names(), ", ")
+}
 
 func main() {
 	var (
-		algo     = flag.String("algo", "fusion", "fusion, apriori, eclat, closed, closedrows, maximal, or topk")
+		algo     = flag.String("algo", "fusion", algoUsage())
 		minsup   = flag.Float64("minsup", 0, "relative minimum support σ ∈ [0,1]")
 		mincount = flag.Int("mincount", 0, "absolute minimum support count (overrides -minsup)")
 		k        = flag.Int("k", 100, "fusion: max patterns to mine; topk: k")
 		tau      = flag.Float64("tau", 0.5, "fusion: core ratio τ")
 		initSize = flag.Int("init", 3, "fusion: initial pool max pattern size")
-		minlen   = flag.Int("minlen", 1, "topk: minimum pattern length; closedrows: minimum size")
-		maxsize  = flag.Int("maxsize", 0, "apriori/eclat: max pattern size (0 = unbounded)")
+		minlen   = flag.Int("minlen", 1, "topk: minimum pattern length; closed/closedrows: minimum size")
+		maxsize  = flag.Int("maxsize", 0, "apriori/eclat/fpgrowth: max pattern size (0 = unbounded)")
 		seed     = flag.Uint64("seed", 1, "fusion: random seed")
 		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "fusion: worker goroutines per iteration (results are identical for any value)")
 		budget   = flag.Duration("budget", 0, "optional time budget (0 = none)")
 		top      = flag.Int("top", 0, "print only the first N patterns (0 = all)")
+		progress = flag.Bool("progress", false, "stream progress events to stderr")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the mining run to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (after mining) to this file")
 	)
@@ -55,6 +62,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: pfmine [flags] <dataset.dat>")
 		flag.PrintDefaults()
 		os.Exit(2)
+	}
+	alg, err := engine.Get(*algo)
+	if err != nil {
+		fail(err)
 	}
 	stopProfiles := profiling.Start(*cpuprof, *memprof)
 	defer stopProfiles()
@@ -65,61 +76,42 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "loaded: %s\n", d.ComputeStats())
 
-	mc := *mincount
-	if mc == 0 {
-		mc = d.MinCount(*minsup)
-	}
-	cancel := func() bool { return false }
+	ctx := context.Background()
 	if *budget > 0 {
-		deadline := time.Now().Add(*budget)
-		cancel = func() bool { return time.Now().After(deadline) }
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *budget)
+		defer cancel()
+	}
+	opts := engine.Options{
+		MinCount:        *mincount,
+		MinSupport:      *minsup,
+		K:               *k,
+		Tau:             *tau,
+		InitPoolMaxSize: *initSize,
+		MinSize:         *minlen,
+		MaxSize:         *maxsize,
+		Seed:            *seed,
+		Parallelism:     *par,
+	}
+	if *progress {
+		opts.Observer = func(e engine.Event) {
+			fmt.Fprintf(os.Stderr, "progress: algo=%s phase=%s iteration=%d pool=%d\n",
+				e.Algorithm, e.Phase, e.Iteration, e.PoolSize)
+		}
 	}
 
 	t0 := time.Now()
-	var patterns []*dataset.Pattern
-	stopped := false
-	switch *algo {
-	case "fusion":
-		cfg := core.DefaultConfig(*k, 0)
-		cfg.MinCount = mc
-		cfg.Tau = *tau
-		cfg.InitPoolMaxSize = *initSize
-		cfg.Seed = *seed
-		cfg.Parallelism = *par
-		cfg.Canceled = cancel
-		res, err := core.Mine(d, cfg)
-		if err != nil {
-			fail(err)
-		}
-		fmt.Fprintf(os.Stderr, "initial pool: %d patterns; %d fusion iterations\n",
-			res.InitPoolSize, res.Iterations)
-		patterns, stopped = res.Patterns, res.Stopped
-	case "apriori":
-		res := apriori.MineOpts(d, apriori.Options{MinCount: mc, MaxSize: *maxsize, Canceled: cancel})
-		patterns, stopped = res.Patterns, res.Stopped
-	case "eclat":
-		res := eclat.MineOpts(d, eclat.Options{MinCount: mc, MaxSize: *maxsize, Canceled: cancel})
-		patterns, stopped = res.Patterns, res.Stopped
-	case "closed":
-		res := charm.MineOpts(d, charm.Options{MinCount: mc, Canceled: cancel})
-		patterns, stopped = res.Patterns, res.Stopped
-	case "closedrows":
-		res := carpenter.MineOpts(d, carpenter.Options{MinCount: mc, MinSize: *minlen, Canceled: cancel})
-		patterns, stopped = res.Patterns, res.Stopped
-	case "maximal":
-		res := maximal.MineOpts(d, maximal.Options{MinCount: mc, Canceled: cancel})
-		patterns, stopped = res.Patterns, res.Stopped
-	case "topk":
-		res := topk.MineOpts(d, topk.Options{K: *k, MinLength: *minlen, FloorMin: mc, Canceled: cancel})
-		patterns, stopped = res.Patterns, res.Stopped
-	default:
-		fmt.Fprintf(os.Stderr, "pfmine: unknown algorithm %q\n", *algo)
-		os.Exit(2)
+	rep, err := alg.Mine(ctx, d, opts)
+	if err != nil {
+		fail(err)
 	}
 	elapsed := time.Since(t0)
+	if rep.InitPoolSize > 0 {
+		fmt.Fprintf(os.Stderr, "initial pool: %d patterns; %d iterations\n",
+			rep.InitPoolSize, rep.Iterations)
+	}
 
-	dataset.SortPatterns(patterns)
-	shown := patterns
+	shown := rep.Patterns
 	if *top > 0 && len(shown) > *top {
 		shown = shown[:*top]
 	}
@@ -131,10 +123,10 @@ func main() {
 		fmt.Printf("%s # support=%d size=%d\n", strings.Join(items, " "), p.Support(), len(p.Items))
 	}
 	note := ""
-	if stopped {
+	if rep.Stopped {
 		note = " (stopped at budget; results partial)"
 	}
-	fmt.Fprintf(os.Stderr, "%d patterns in %v%s\n", len(patterns), elapsed.Round(time.Millisecond), note)
+	fmt.Fprintf(os.Stderr, "%d patterns in %v%s\n", len(rep.Patterns), elapsed.Round(time.Millisecond), note)
 }
 
 func fail(err error) {

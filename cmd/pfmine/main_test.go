@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+)
+
+// TestAlgoHelpCoversEveryRegisteredAlgorithm pins the satellite guarantee
+// of the registry refactor: the CLI's -algo help names every registered
+// miner — including fpgrowth, which the old hand-rolled dispatch switch
+// omitted — and every named algorithm actually resolves.
+func TestAlgoHelpCoversEveryRegisteredAlgorithm(t *testing.T) {
+	help := algoUsage()
+	names := engine.Names()
+	if len(names) < 8 {
+		t.Fatalf("expected at least the 8 repository miners registered, got %v", names)
+	}
+	for _, name := range names {
+		if !strings.Contains(help, name) {
+			t.Errorf("-algo help %q omits registered algorithm %q", help, name)
+		}
+		if _, err := engine.Get(name); err != nil {
+			t.Errorf("help names %q but the registry cannot resolve it: %v", name, err)
+		}
+	}
+	for _, required := range []string{"fusion", "apriori", "fpgrowth", "eclat", "closed", "closedrows", "maximal", "topk"} {
+		if !strings.Contains(help, required) {
+			t.Errorf("-algo help %q does not reach %q", help, required)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Command pfserve exposes every engine-registered mining algorithm as a
+// concurrent HTTP job service: submit a job, poll or stream its progress,
+// fetch the mined patterns, cancel it. Jobs run on a bounded worker pool
+// with per-job deadlines, so the server caps both CPU use and the number
+// of datasets resident in memory.
+//
+//	pfserve -addr :8080 -workers 4 -queue 32 -timeout 2m
+//
+//	# submit a Diag_30 Pattern-Fusion job
+//	curl -s localhost:8080/jobs -d '{
+//	  "algorithm": "fusion",
+//	  "dataset":   {"generator": "diag", "n": 30},
+//	  "options":   {"min_count": 15, "k": 20}
+//	}'
+//	# poll it, stream its progress, fetch the patterns, cancel it
+//	curl -s localhost:8080/jobs/job-1
+//	curl -sN localhost:8080/jobs/job-1/events?follow=1
+//	curl -s localhost:8080/jobs/job-1/result?top=5
+//	curl -s -X DELETE localhost:8080/jobs/job-1
+//
+// See internal/server for the full API.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	_ "repro/internal/engine/all"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 2, "concurrent mining jobs (and max in-flight datasets)")
+		queue    = flag.Int("queue", 16, "max queued jobs before submissions are rejected")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "default and maximum per-job run time")
+		maxCells = flag.Int("max-cells", 64<<20, "max dataset cells (|D|·|I|) per job; 0 = server default, negative = unlimited")
+		dataDir  = flag.String("data-dir", "", "directory for {\"path\": ...} dataset specs (empty disables them)")
+	)
+	flag.Parse()
+
+	mgr := server.NewManager(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		MaxCells:       *maxCells,
+		DataDir:        *dataDir,
+	})
+	srv := &http.Server{Addr: *addr, Handler: server.Handler(mgr)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "pfserve: listening on %s (workers=%d queue=%d timeout=%v)\n",
+		*addr, *workers, *queue, *timeout)
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "pfserve: %v\n", err)
+			os.Exit(1)
+		}
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "pfserve: shutting down")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(shutdownCtx)
+		mgr.Close()
+	}
+}

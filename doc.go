@@ -21,11 +21,33 @@
 //	db, err := patternfusion.Load("transactions.dat") // FIMI format
 //	if err != nil { ... }
 //	cfg := patternfusion.DefaultConfig(20, 0.05) // K=20 patterns, σ=5%
-//	res, err := patternfusion.Mine(db, cfg)
+//	res, err := patternfusion.Mine(ctx, db, cfg)
 //	if err != nil { ... }
 //	for _, p := range res.Patterns {
 //		fmt.Printf("%v support=%d\n", p.Items, p.Support())
 //	}
+//
+// Cancellation is context-first: every miner polls ctx at its natural
+// cadence and returns a partial result with Stopped=true, so deadlines
+// are plain context.WithTimeout at the call site.
+//
+// # The unified engine
+//
+// Every algorithm in the repository — Pattern-Fusion and the seven exact
+// baselines — implements one interface (Engine: Name plus
+// Mine(ctx, dataset, Options)) and registers itself by name, so any of
+// them can be run uniformly:
+//
+//	rep, err := patternfusion.MineWith(ctx, "maximal", db,
+//		patternfusion.Options{MinSupport: 0.5})
+//
+// Options.Observer receives structured progress events (phase, iteration,
+// pool size) during the run. Reports are pure functions of
+// (algorithm, dataset, Options); registry-driven conformance tests pin
+// prompt cancellation and byte-identical determinism for every
+// registered algorithm. cmd/pfmine dispatches over the registry, and
+// cmd/pfserve serves it as a concurrent HTTP job API with bounded
+// workers, deadlines and progress streaming (see internal/server).
 //
 // # Parallelism and determinism
 //

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -29,12 +30,10 @@ func main() {
 
 	// Give the exhaustive miner a 3-second budget — the paper gave
 	// FPClose and LCM2 ten hours and they did not finish either.
-	deadline := time.Now().Add(3 * time.Second)
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+	defer cancel()
 	t0 := time.Now()
-	mres := maximal.MineOpts(db, maximal.Options{
-		MinCount: 20,
-		Canceled: func() bool { return time.Now().After(deadline) },
-	})
+	mres := maximal.MineOpts(ctx, db, maximal.Options{MinCount: 20})
 	fmt.Printf("exhaustive maximal miner: stopped=%v after %v, trapped with %d mid-sized patterns\n",
 		mres.Stopped, time.Since(t0).Round(time.Millisecond), len(mres.Patterns))
 
@@ -42,7 +41,7 @@ func main() {
 	cfg.MinCount = 20
 	cfg.InitPoolMaxSize = 2
 	t0 = time.Now()
-	res, err := patternfusion.Mine(db, cfg)
+	res, err := patternfusion.Mine(context.Background(), db, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

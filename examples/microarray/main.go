@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -45,7 +46,7 @@ func main() {
 	cfg.MinCount = minCount
 	cfg.InitPoolMaxSize = 2
 	t0 = time.Now()
-	res, err := patternfusion.Mine(db, cfg)
+	res, err := patternfusion.Mine(context.Background(), db, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,7 +34,7 @@ func main() {
 
 	// Mine at most K=3 patterns at 15% minimum support.
 	cfg := patternfusion.DefaultConfig(3, 0.15)
-	res, err := patternfusion.Mine(db, cfg)
+	res, err := patternfusion.Mine(context.Background(), db, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

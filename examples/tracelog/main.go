@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -29,7 +30,7 @@ func main() {
 
 	cfg := patternfusion.DefaultConfig(100, 0.03)
 	t0 := time.Now()
-	res, err := patternfusion.Mine(db, cfg)
+	res, err := patternfusion.Mine(context.Background(), db, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

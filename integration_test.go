@@ -5,6 +5,7 @@ package patternfusion_test
 // exercise the same paths the examples and CLI tools use.
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -40,7 +41,7 @@ func TestPipelineGenerateSaveLoadMineEvaluate(t *testing.T) {
 	// Pattern-Fusion approximates it.
 	cfg := patternfusion.DefaultConfig(10, 0)
 	cfg.MinCount = minCount
-	res, err := patternfusion.Mine(loaded, cfg)
+	res, err := patternfusion.Mine(context.Background(), loaded, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestAllMinersAgreeOnColossal(t *testing.T) {
 	}
 	cfg := patternfusion.DefaultConfig(10, 0)
 	cfg.MinCount = minCount
-	res, err := patternfusion.Mine(db, cfg)
+	res, err := patternfusion.Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

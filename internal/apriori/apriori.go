@@ -17,15 +17,18 @@
 package apriori
 
 import (
+	"context"
+
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/itemset"
 )
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int         // absolute minimum support count (≥ 1)
-	MaxSize  int         // stop after this level; 0 means unbounded
-	Canceled func() bool // optional cooperative cancellation, polled per level
+	MinCount int             // absolute minimum support count (≥ 1)
+	MaxSize  int             // stop after this level; 0 means unbounded
+	Observer engine.Observer // optional progress events, one per level
 }
 
 // Result is the outcome of a mining run.
@@ -38,17 +41,19 @@ type Result struct {
 // Mine returns the complete set of frequent patterns of d with support
 // count at least minCount.
 func Mine(d *dataset.Dataset, minCount int) *Result {
-	return MineOpts(d, Options{MinCount: minCount})
+	return MineOpts(context.Background(), d, Options{MinCount: minCount})
 }
 
 // MineUpTo returns the complete set of frequent patterns of size at most
 // maxSize — the Pattern-Fusion initial pool.
 func MineUpTo(d *dataset.Dataset, minCount, maxSize int) *Result {
-	return MineOpts(d, Options{MinCount: minCount, MaxSize: maxSize})
+	return MineOpts(context.Background(), d, Options{MinCount: minCount, MaxSize: maxSize})
 }
 
-// MineOpts runs Apriori under the given options.
-func MineOpts(d *dataset.Dataset, opts Options) *Result {
+// MineOpts runs Apriori under the given options. Cancellation is polled on
+// ctx once per level; a canceled run returns the levels completed so far
+// with Stopped=true.
+func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
@@ -64,10 +69,14 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 	for len(level) > 0 {
 		res.Patterns = append(res.Patterns, level...)
 		res.Levels = append(res.Levels, len(level))
+		opts.Observer.Emit(engine.Event{
+			Algorithm: Name, Phase: engine.PhaseIteration,
+			Iteration: k, PoolSize: len(res.Patterns),
+		})
 		if opts.MaxSize > 0 && k >= opts.MaxSize {
 			break
 		}
-		if opts.Canceled != nil && opts.Canceled() {
+		if ctx.Err() != nil {
 			res.Stopped = true
 			break
 		}

@@ -158,11 +158,7 @@ func TestMinCountBelowOneTreatedAsOne(t *testing.T) {
 
 func TestCancellation(t *testing.T) {
 	d := datagen.Diag(20)
-	calls := 0
-	res := MineOpts(d, Options{MinCount: 1, Canceled: func() bool {
-		calls++
-		return calls > 1
-	}})
+	res := MineOpts(minertest.CancelAfter(1), d, Options{MinCount: 1})
 	if !res.Stopped {
 		t.Fatal("cancellation not honored")
 	}

@@ -1,0 +1,32 @@
+package carpenter
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// Name is this algorithm's engine registry name ("closedrows": closed
+// frequent sets by CARPENTER-style row enumeration).
+const Name = "closedrows"
+
+type algorithm struct{}
+
+func init() { engine.Register(algorithm{}) }
+
+func (algorithm) Name() string { return Name }
+
+// Mine implements engine.Algorithm: the closed frequent sets of at least
+// Options.MinSize items at the resolved support threshold, mined by row
+// enumeration — the method of choice for microarray-shaped data.
+func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
+	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+		res := MineOpts(ctx, d, Options{
+			MinCount: opts.ResolveMinCount(d),
+			MinSize:  opts.MinSize,
+			Observer: opts.Observer,
+		})
+		return &engine.Report{Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
+	})
+}

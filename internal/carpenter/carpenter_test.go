@@ -123,11 +123,7 @@ func TestDegenerate(t *testing.T) {
 
 func TestCancellation(t *testing.T) {
 	d := datagen.Diag(18)
-	calls := 0
-	res := MineOpts(d, Options{MinCount: 2, Canceled: func() bool {
-		calls++
-		return calls > 5
-	}})
+	res := MineOpts(minertest.CancelAfter(5), d, Options{MinCount: 2})
 	if !res.Stopped {
 		t.Fatal("cancellation not honored")
 	}

@@ -16,16 +16,19 @@
 package charm
 
 import (
+	"context"
+
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/itemset"
 )
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int         // absolute minimum support count (≥ 1)
-	MinSize  int         // only report closed itemsets with at least this many items
-	Canceled func() bool // optional cooperative cancellation
+	MinCount int             // absolute minimum support count (≥ 1)
+	MinSize  int             // only report closed itemsets with at least this many items
+	Observer engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
 
 // Result is the outcome of a mining run.
@@ -38,11 +41,13 @@ type Result struct {
 // Mine returns all closed frequent patterns of d with support count at
 // least minCount.
 func Mine(d *dataset.Dataset, minCount int) *Result {
-	return MineOpts(d, Options{MinCount: minCount})
+	return MineOpts(context.Background(), d, Options{MinCount: minCount})
 }
 
-// MineOpts runs the closed miner under the given options.
-func MineOpts(d *dataset.Dataset, opts Options) *Result {
+// MineOpts runs the closed miner under the given options. Cancellation is
+// polled on ctx at every search node; a canceled run returns the patterns
+// found so far with Stopped=true.
+func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
@@ -50,7 +55,7 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 	if d.Size() < opts.MinCount {
 		return res
 	}
-	m := &miner{d: d, opts: opts, res: res}
+	m := &miner{ctx: ctx, d: d, opts: opts, res: res}
 
 	all := bitset.New(d.Size())
 	all.SetAll()
@@ -61,13 +66,20 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 }
 
 type miner struct {
+	ctx  context.Context
 	d    *dataset.Dataset
 	opts Options
 	res  *Result
 }
 
 func (m *miner) canceled() bool {
-	if m.opts.Canceled != nil && m.opts.Canceled() {
+	if m.opts.Observer != nil && m.res.Visited%engine.ProgressStride == 0 && m.res.Visited > 0 {
+		m.opts.Observer(engine.Event{
+			Algorithm: Name, Phase: engine.PhaseIteration,
+			Iteration: m.res.Visited, PoolSize: len(m.res.Patterns),
+		})
+	}
+	if m.ctx.Err() != nil {
 		m.res.Stopped = true
 		return true
 	}

@@ -1,6 +1,7 @@
 package charm
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/datagen"
@@ -71,7 +72,7 @@ func TestMinSizeFilter(t *testing.T) {
 	r := rng.New(557)
 	d := datagen.Random(r, 30, 8, 0.5)
 	all := Mine(d, 2)
-	filtered := MineOpts(d, Options{MinCount: 2, MinSize: 3})
+	filtered := MineOpts(context.Background(), d, Options{MinCount: 2, MinSize: 3})
 	want := 0
 	for _, p := range all.Patterns {
 		if len(p.Items) >= 3 {
@@ -123,11 +124,7 @@ func TestDegenerate(t *testing.T) {
 
 func TestCancellation(t *testing.T) {
 	d := datagen.Diag(20)
-	calls := 0
-	res := MineOpts(d, Options{MinCount: 1, Canceled: func() bool {
-		calls++
-		return calls > 10
-	}})
+	res := MineOpts(minertest.CancelAfter(10), d, Options{MinCount: 1})
 	if !res.Stopped {
 		t.Fatal("cancellation not honored")
 	}

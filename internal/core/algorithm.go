@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+type algorithm struct{}
+
+func init() { engine.Register(algorithm{}) }
+
+func (algorithm) Name() string { return Name }
+
+// Mine implements engine.Algorithm: a full two-phase Pattern-Fusion run
+// starting from DefaultConfig, overridden by the engine options (K, Tau,
+// InitPoolMaxSize, Seed, Parallelism and the support threshold).
+func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
+	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+		k := opts.K
+		if k == 0 {
+			k = 100
+		}
+		cfg := DefaultConfig(k, opts.MinSupport)
+		cfg.MinCount = opts.MinCount
+		// Zero means "use the default"; every other value — including
+		// invalid ones — is passed through so Config.validate rejects it
+		// instead of this adapter silently rewriting it.
+		if opts.Tau != 0 {
+			cfg.Tau = opts.Tau
+		}
+		if opts.InitPoolMaxSize != 0 {
+			cfg.InitPoolMaxSize = opts.InitPoolMaxSize
+		}
+		if opts.Seed != 0 {
+			cfg.Seed = opts.Seed
+		}
+		cfg.Parallelism = opts.Parallelism
+		cfg.Observer = opts.Observer
+		res, err := Mine(ctx, d, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &engine.Report{
+			Patterns:     res.Patterns,
+			InitPoolSize: res.InitPoolSize,
+			Iterations:   res.Iterations,
+			Stopped:      res.Stopped,
+		}, nil
+	})
+}

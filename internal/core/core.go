@@ -49,6 +49,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -57,9 +58,13 @@ import (
 	"repro/internal/apriori"
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/itemset"
 	"repro/internal/rng"
 )
+
+// Name is this algorithm's engine registry name.
+const Name = "fusion"
 
 // Config parameterizes a Pattern-Fusion run. The zero value is not valid;
 // use DefaultConfig as a starting point.
@@ -120,17 +125,14 @@ type Config struct {
 	Parallelism int
 	// Seed seeds the deterministic RNG.
 	Seed uint64
-	// Canceled, if non-nil, is polled for cooperative cancellation: once
-	// per seed within each fusion iteration. It is only ever called from
-	// the goroutine running Mine, never from the fusion workers, so the
-	// callback need not be safe for concurrent use. A canceled run returns
-	// Stopped=true; the bit-identical-across-Parallelism guarantee applies
-	// to runs that complete without cancellation.
-	Canceled func() bool
-	// OnIteration, if non-nil, observes the pool after each fusion
-	// iteration (used by the experiments and the Lemma 5 tests). The pool
-	// slice must not be modified.
-	OnIteration func(iteration int, pool []*dataset.Pattern)
+	// Observer, if non-nil, receives structured progress events: a
+	// PhaseInitPool event after phase 1 (Mine only) and a PhaseIteration
+	// event after each fusion iteration, carrying the iteration number,
+	// the pool size, and — for pool inspection by the experiments and the
+	// Lemma 5 tests — the live pool slice in Event.Pool (which must not be
+	// modified or retained). The Observer is only ever called from the
+	// goroutine running Mine, never from the fusion workers.
+	Observer engine.Observer
 }
 
 // DefaultConfig returns the configuration used throughout the experiments:
@@ -152,6 +154,11 @@ func DefaultConfig(k int, minSupport float64) Config {
 	}
 }
 
+// validate checks a Config for hard errors. It never mutates the config:
+// out-of-range values are rejected, not silently rewritten — a negative
+// FusionDraws, MaxSupersPerSeed, MaxIterations, InitPoolMaxSize,
+// MaxBallSize or Elitism is a caller bug, not a request for the default.
+// Zero values of the optional knobs are legal and filled in by normalized.
 func (c *Config) validate() error {
 	if c.K < 1 {
 		return fmt.Errorf("core: K must be >= 1, got %d", c.K)
@@ -165,22 +172,49 @@ func (c *Config) validate() error {
 	if c.MinCount == 0 && (c.MinSupport < 0 || c.MinSupport > 1) {
 		return fmt.Errorf("core: MinSupport must be in [0,1], got %v", c.MinSupport)
 	}
-	if c.InitPoolMaxSize < 1 {
-		c.InitPoolMaxSize = 3
+	if c.InitPoolMaxSize < 0 {
+		return fmt.Errorf("core: InitPoolMaxSize must be >= 0, got %d", c.InitPoolMaxSize)
 	}
-	if c.FusionDraws < 1 {
-		c.FusionDraws = 5
+	if c.FusionDraws < 0 {
+		return fmt.Errorf("core: FusionDraws must be >= 0, got %d", c.FusionDraws)
 	}
-	if c.MaxSupersPerSeed < 1 {
-		c.MaxSupersPerSeed = 5
+	if c.MaxSupersPerSeed < 0 {
+		return fmt.Errorf("core: MaxSupersPerSeed must be >= 0, got %d", c.MaxSupersPerSeed)
 	}
-	if c.MaxIterations < 1 {
-		c.MaxIterations = 64
+	if c.MaxBallSize < 0 {
+		return fmt.Errorf("core: MaxBallSize must be >= 0, got %d", c.MaxBallSize)
+	}
+	if c.MaxIterations < 0 {
+		return fmt.Errorf("core: MaxIterations must be >= 0, got %d", c.MaxIterations)
+	}
+	if c.Elitism < 0 {
+		return fmt.Errorf("core: Elitism must be >= 0, got %d", c.Elitism)
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("core: Parallelism must be >= 0, got %d", c.Parallelism)
 	}
 	return nil
+}
+
+// normalized returns a copy of the config with documented defaults filled
+// in for the zero values of the optional knobs: InitPoolMaxSize 3 (the
+// paper's "small size, e.g., 3"), FusionDraws 5, MaxSupersPerSeed 5,
+// MaxIterations 64. MaxBallSize and Elitism stay zero (unbounded /
+// disabled): zero is their meaningful value, not an omission.
+func (c Config) normalized() Config {
+	if c.InitPoolMaxSize == 0 {
+		c.InitPoolMaxSize = 3
+	}
+	if c.FusionDraws == 0 {
+		c.FusionDraws = 5
+	}
+	if c.MaxSupersPerSeed == 0 {
+		c.MaxSupersPerSeed = 5
+	}
+	if c.MaxIterations == 0 {
+		c.MaxIterations = 64
+	}
+	return c
 }
 
 // workers resolves Parallelism to a concrete worker count.
@@ -217,30 +251,45 @@ func Radius(tau float64) float64 {
 // Mine runs the full two-phase Pattern-Fusion algorithm on d: it mines the
 // initial pool (the complete set of frequent patterns of size at most
 // cfg.InitPoolMaxSize) and then iterates fusion until at most K patterns
-// remain.
-func Mine(d *dataset.Dataset, cfg Config) (*Result, error) {
+// remain. Cancellation is polled on ctx once per Apriori level in phase 1
+// and once per seed within each fusion iteration; a canceled run returns a
+// partial Result with Stopped=true and a nil error.
+func Mine(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.normalized()
 	minCount := cfg.MinCount
 	if minCount == 0 {
 		minCount = d.MinCount(cfg.MinSupport)
 	}
-	pool := apriori.MineOpts(d, apriori.Options{
+	ares := apriori.MineOpts(ctx, d, apriori.Options{
 		MinCount: minCount,
 		MaxSize:  cfg.InitPoolMaxSize,
-		Canceled: cfg.Canceled,
-	}).Patterns
-	return MineFromPool(d, pool, cfg)
+	})
+	cfg.Observer.Emit(engine.Event{
+		Algorithm: Name, Phase: engine.PhaseInitPool, PoolSize: len(ares.Patterns),
+	})
+	res, err := MineFromPool(ctx, d, ares.Patterns, cfg)
+	if err == nil && ares.Stopped {
+		// A run canceled during phase 1 is partial even when the truncated
+		// pool is empty and no fusion step ever observes the cancellation.
+		res.Stopped = true
+	}
+	return res, err
 }
 
 // MineFromPool runs phase 2 (iterative fusion) from a caller-supplied
 // initial pool; the pool patterns must carry support sets computed against
-// d. The pool slice is not modified.
-func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Result, error) {
+// d. The pool slice is not modified. Cancellation is polled on ctx once
+// per seed within each fusion iteration, from the dispatching goroutine
+// only; the bit-identical-across-Parallelism guarantee applies to runs
+// that complete without cancellation.
+func MineFromPool(ctx context.Context, d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
+	cfg = cfg.normalized()
 	minCount := cfg.MinCount
 	if minCount == 0 {
 		minCount = d.MinCount(cfg.MinSupport)
@@ -260,15 +309,16 @@ func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Res
 	// the initial pool already holds at most K patterns (otherwise a pool of
 	// singletons smaller than K would be returned unfused).
 	for len(cur) > 0 && (res.Iterations == 0 || len(cur) > cfg.K) && res.Iterations < cfg.MaxIterations {
-		next, stopped := fusionStep(d, cur, cfg, minCount, radius, res.Iterations)
+		next, stopped := fusionStep(ctx, d, cur, cfg, minCount, radius, res.Iterations)
 		if stopped {
 			res.Stopped = true
 			break
 		}
 		res.Iterations++
-		if cfg.OnIteration != nil {
-			cfg.OnIteration(res.Iterations, next)
-		}
+		cfg.Observer.Emit(engine.Event{
+			Algorithm: Name, Phase: engine.PhaseIteration,
+			Iteration: res.Iterations, PoolSize: len(next), Pool: next,
+		})
 		key := poolFingerprints(next)
 		if fingerprintsEqual(key, prevKey) {
 			// Fixed point: no fusion is possible anymore (every seed's ball
@@ -301,12 +351,12 @@ func MineFromPool(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Res
 // change which goroutine fuses which seed, but never what any seed
 // produces or where its output lands.
 //
-// Canceled is polled once per seed from the dispatching goroutine; the
+// ctx is polled once per seed from the dispatching goroutine; the
 // unbuffered work channel paces dispatch to the workers' drain rate, so
 // polls are spread across the iteration and cancellation aborts the step
 // without waiting for the remaining seeds. A stopped step reports
 // stopped=true and its partial output is discarded.
-func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCount int, radius float64, iteration int) (next []*dataset.Pattern, stopped bool) {
+func fusionStep(ctx context.Context, d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCount int, radius float64, iteration int) (next []*dataset.Pattern, stopped bool) {
 	seedIdx := rng.Stream(cfg.Seed, uint64(iteration)).SampleInts(len(pool), cfg.K)
 	perSeed := make([][]*dataset.Pattern, len(seedIdx))
 	fuseSlot := func(slot int, sc *fuseScratch) {
@@ -346,7 +396,7 @@ func fusionStep(d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCoun
 		perSeed[slot] = fuse(d, seed, ball, cfg, minCount, r, sc)
 	}
 
-	canceled := func() bool { return cfg.Canceled != nil && cfg.Canceled() }
+	canceled := func() bool { return ctx.Err() != nil }
 	if workers := min(cfg.workers(), len(seedIdx)); workers <= 1 {
 		sc := newFuseScratch(d)
 		for slot := range seedIdx {

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/itemset"
+	"repro/internal/minertest"
 	"repro/internal/rng"
 )
 
@@ -233,8 +236,63 @@ func TestConfigValidation(t *testing.T) {
 		{K: 5, Tau: 0.5, MinCount: -1},
 	}
 	for i, cfg := range bad {
-		if _, err := Mine(d, cfg); err == nil {
+		if _, err := Mine(context.Background(), d, cfg); err == nil {
 			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestValidateRejectsNegatives pins the validate/normalized split: a
+// negative optional knob is a hard error, never silently rewritten to the
+// default as it used to be.
+func TestValidateRejectsNegatives(t *testing.T) {
+	d := fig3DB(t)
+	base := func() Config { return Config{K: 5, Tau: 0.5, MinCount: 100} }
+	mutations := []func(*Config){
+		func(c *Config) { c.InitPoolMaxSize = -1 },
+		func(c *Config) { c.FusionDraws = -1 },
+		func(c *Config) { c.MaxSupersPerSeed = -3 },
+		func(c *Config) { c.MaxBallSize = -1 },
+		func(c *Config) { c.MaxIterations = -2 },
+		func(c *Config) { c.Elitism = -1 },
+		func(c *Config) { c.Parallelism = -1 },
+	}
+	for i, mutate := range mutations {
+		cfg := base()
+		mutate(&cfg)
+		if _, err := Mine(context.Background(), d, cfg); err == nil {
+			t.Errorf("negative config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+// TestNormalizedDefaultsZeroKnobs pins the documented defaulting: a
+// config with the optional knobs left at zero runs (defaults filled in by
+// normalized), and behaves identically to spelling the defaults out.
+func TestNormalizedDefaultsZeroKnobs(t *testing.T) {
+	d := fig3DB(t)
+	zero := Config{K: 3, Tau: 0.5, MinCount: 100, Seed: 9}
+	spelled := zero
+	spelled.InitPoolMaxSize = 3
+	spelled.FusionDraws = 5
+	spelled.MaxSupersPerSeed = 5
+	spelled.MaxIterations = 64
+
+	a, err := Mine(context.Background(), d, zero)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Mine(context.Background(), d, spelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Patterns) != len(b.Patterns) || a.Iterations != b.Iterations {
+		t.Fatalf("zero-knob config diverged from spelled-out defaults: %d/%d patterns, %d/%d iterations",
+			len(a.Patterns), len(b.Patterns), a.Iterations, b.Iterations)
+	}
+	for i := range a.Patterns {
+		if !a.Patterns[i].Items.Equal(b.Patterns[i].Items) {
+			t.Fatalf("pattern %d differs between zero-knob and spelled-out runs", i)
 		}
 	}
 }
@@ -250,7 +308,7 @@ func TestMineDiagPlusFindsColossal(t *testing.T) {
 	cfg.MinCount = 6
 	cfg.InitPoolMaxSize = 2
 	cfg.Seed = 7
-	res, err := Mine(d, cfg)
+	res, err := Mine(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -280,16 +338,19 @@ func TestLemma5MinSizeMonotone(t *testing.T) {
 	cfg.MinCount = 7
 	cfg.InitPoolMaxSize = 2
 	cfg.Seed = 3
-	cfg.OnIteration = func(_ int, pool []*dataset.Pattern) {
+	cfg.Observer = func(e engine.Event) {
+		if e.Phase != engine.PhaseIteration {
+			return
+		}
 		min := 1 << 30
-		for _, p := range pool {
+		for _, p := range e.Pool {
 			if len(p.Items) < min {
 				min = len(p.Items)
 			}
 		}
 		minSizes = append(minSizes, min)
 	}
-	if _, err := Mine(d, cfg); err != nil {
+	if _, err := Mine(context.Background(), d, cfg); err != nil {
 		t.Fatal(err)
 	}
 	for i := 1; i < len(minSizes); i++ {
@@ -307,7 +368,7 @@ func TestFusedPatternsAreFrequentAndExact(t *testing.T) {
 	d := datagen.RandomWithPlanted(r, 60, 20, 0.25, planted, 0.4)
 	cfg := DefaultConfig(15, 0.2)
 	cfg.Seed = 5
-	res, err := Mine(d, cfg)
+	res, err := Mine(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -330,7 +391,7 @@ func TestMineRecoversPlantedColossal(t *testing.T) {
 	d := datagen.RandomWithPlanted(r, 100, 30, 0.1, [][]int{planted}, 0.4)
 	cfg := DefaultConfig(10, 0.25)
 	cfg.Seed = 9
-	res, err := Mine(d, cfg)
+	res, err := Mine(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -349,7 +410,7 @@ func TestMineFromPoolRespectsKAndTermination(t *testing.T) {
 	d := fig3DB(t)
 	cfg := DefaultConfig(2, 0.1)
 	cfg.Seed = 2
-	res, err := Mine(d, cfg)
+	res, err := Mine(context.Background(), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +424,7 @@ func TestMineFromPoolRespectsKAndTermination(t *testing.T) {
 
 func TestMineEmptyDataset(t *testing.T) {
 	d := dataset.MustNew(nil)
-	res, err := Mine(d, DefaultConfig(5, 0.5))
+	res, err := Mine(context.Background(), d, DefaultConfig(5, 0.5))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +439,7 @@ func TestMineDeterministicForSeed(t *testing.T) {
 		cfg := DefaultConfig(5, 0)
 		cfg.MinCount = 5
 		cfg.Seed = 123
-		res, err := Mine(d, cfg)
+		res, err := Mine(context.Background(), d, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -401,18 +462,29 @@ func TestMineDeterministicForSeed(t *testing.T) {
 
 func TestCancellation(t *testing.T) {
 	d := datagen.Diag(30)
-	calls := 0
 	cfg := DefaultConfig(5, 0)
 	cfg.MinCount = 15
-	cfg.Canceled = func() bool {
-		calls++
-		return calls > 2
-	}
-	res, err := Mine(d, cfg)
+	res, err := Mine(minertest.CancelAfter(2), d, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	_ = res
+}
+
+// TestCancellationDuringInitPool pins that a run canceled while phase 1
+// is still mining reports Stopped=true even though no fusion step may
+// ever observe the cancellation itself.
+func TestCancellationDuringInitPool(t *testing.T) {
+	d := fig3DB(t)
+	cfg := DefaultConfig(5, 0)
+	cfg.MinCount = 100
+	res, err := Mine(minertest.CancelAfter(1), d, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Stopped {
+		t.Fatal("run canceled during phase 1 not reported as Stopped")
+	}
 }
 
 func TestCorePatternsPanicsOnHugeAlpha(t *testing.T) {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"testing"
@@ -112,7 +113,7 @@ func TestResultGoldenBitIdentical(t *testing.T) {
 	check := func(t *testing.T, d *dataset.Dataset, cfg Config, g golden) {
 		t.Helper()
 		cfg.Seed = g.seed
-		res, err := Mine(d, cfg)
+		res, err := Mine(context.Background(), d, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,12 +1,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
 	"repro/internal/apriori"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/minertest"
 )
 
 // fingerprint captures everything observable about a result: the pattern
@@ -50,7 +52,7 @@ func TestParallelismDeterminism(t *testing.T) {
 			for _, par := range []int{1, 2, 8} {
 				cfg := w.cfg
 				cfg.Parallelism = par
-				res, err := Mine(w.db, cfg)
+				res, err := Mine(context.Background(), w.db, cfg)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -84,7 +86,7 @@ func TestParallelismValidation(t *testing.T) {
 	cfg := DefaultConfig(5, 0)
 	cfg.MinCount = 4
 	cfg.Parallelism = -1
-	if _, err := Mine(d, cfg); err == nil {
+	if _, err := Mine(context.Background(), d, cfg); err == nil {
 		t.Fatal("Parallelism=-1 accepted")
 	}
 }
@@ -101,12 +103,7 @@ func TestCancellationMidStep(t *testing.T) {
 		cfg := DefaultConfig(20, 0)
 		cfg.MinCount = 15
 		cfg.Parallelism = par
-		calls := 0
-		cfg.Canceled = func() bool {
-			calls++
-			return calls > 3
-		}
-		res, err := MineFromPool(d, pool, cfg)
+		res, err := MineFromPool(minertest.CancelAfter(3), d, pool, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -5,6 +5,7 @@ package datagen
 // the actual closed miners, so they are skipped under -short.
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/carpenter"
@@ -103,8 +104,8 @@ func TestMicroarrayLowSupportExplosion(t *testing.T) {
 	// Figure 10's premise: frequency explodes as σ drops below the noise
 	// support band. Compare closed row-enumeration node counts at minSize 0.
 	d, _ := Microarray(1)
-	hi := carpenter.MineOpts(d, carpenter.Options{MinCount: 34, MinSize: 40})
-	lo := carpenter.MineOpts(d, carpenter.Options{MinCount: 30, MinSize: 40})
+	hi := carpenter.MineOpts(context.Background(), d, carpenter.Options{MinCount: 34, MinSize: 40})
+	lo := carpenter.MineOpts(context.Background(), d, carpenter.Options{MinCount: 30, MinSize: 40})
 	if lo.Visited <= hi.Visited {
 		t.Errorf("no growth in search effort: visited %d at σ=34 vs %d at σ=30", hi.Visited, lo.Visited)
 	}

@@ -1,0 +1,30 @@
+package eclat
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// Name is this algorithm's engine registry name.
+const Name = "eclat"
+
+type algorithm struct{}
+
+func init() { engine.Register(algorithm{}) }
+
+func (algorithm) Name() string { return Name }
+
+// Mine implements engine.Algorithm: the complete frequent set (optionally
+// capped at Options.MaxSize items) at the resolved support threshold.
+func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
+	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+		res := MineOpts(ctx, d, Options{
+			MinCount: opts.ResolveMinCount(d),
+			MaxSize:  opts.MaxSize,
+			Observer: opts.Observer,
+		})
+		return &engine.Report{Patterns: res.Patterns, Stopped: res.Stopped}, nil
+	})
+}

@@ -9,16 +9,19 @@
 package eclat
 
 import (
+	"context"
+
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/itemset"
 )
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int         // absolute minimum support count (≥ 1)
-	MaxSize  int         // only report itemsets up to this size; 0 = unbounded
-	Canceled func() bool // optional cooperative cancellation
+	MinCount int             // absolute minimum support count (≥ 1)
+	MaxSize  int             // only report itemsets up to this size; 0 = unbounded
+	Observer engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
 
 // Result is the outcome of a mining run.
@@ -30,16 +33,18 @@ type Result struct {
 // Mine returns the complete set of frequent patterns of d with support
 // count at least minCount.
 func Mine(d *dataset.Dataset, minCount int) *Result {
-	return MineOpts(d, Options{MinCount: minCount})
+	return MineOpts(context.Background(), d, Options{MinCount: minCount})
 }
 
-// MineOpts runs Eclat under the given options.
-func MineOpts(d *dataset.Dataset, opts Options) *Result {
+// MineOpts runs Eclat under the given options. Cancellation is polled on
+// ctx at every search node; a canceled run returns the patterns found so
+// far with Stopped=true.
+func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
 	res := &Result{}
-	m := &miner{opts: opts, res: res}
+	m := &miner{ctx: ctx, opts: opts, res: res}
 
 	var class []extension
 	for _, item := range d.FrequentItems(opts.MinCount) {
@@ -55,12 +60,21 @@ type extension struct {
 }
 
 type miner struct {
-	opts Options
-	res  *Result
+	ctx   context.Context
+	opts  Options
+	res   *Result
+	polls int
 }
 
 func (m *miner) canceled() bool {
-	if m.opts.Canceled != nil && m.opts.Canceled() {
+	m.polls++
+	if m.opts.Observer != nil && m.polls%engine.ProgressStride == 0 {
+		m.opts.Observer(engine.Event{
+			Algorithm: Name, Phase: engine.PhaseIteration,
+			Iteration: m.polls, PoolSize: len(m.res.Patterns),
+		})
+	}
+	if m.ctx.Err() != nil {
 		m.res.Stopped = true
 		return true
 	}

@@ -1,6 +1,7 @@
 package eclat
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/datagen"
@@ -39,7 +40,7 @@ func TestTIDSetsExact(t *testing.T) {
 func TestMaxSize(t *testing.T) {
 	r := rng.New(6)
 	d := datagen.Random(r, 25, 8, 0.5)
-	res := MineOpts(d, Options{MinCount: 2, MaxSize: 3})
+	res := MineOpts(context.Background(), d, Options{MinCount: 2, MaxSize: 3})
 	for _, p := range res.Patterns {
 		if len(p.Items) > 3 {
 			t.Fatalf("pattern %v exceeds MaxSize", p.Items)
@@ -60,11 +61,7 @@ func TestDegenerateInputs(t *testing.T) {
 
 func TestCancellation(t *testing.T) {
 	d := datagen.Diag(18)
-	calls := 0
-	res := MineOpts(d, Options{MinCount: 1, Canceled: func() bool {
-		calls++
-		return calls > 2
-	}})
+	res := MineOpts(minertest.CancelAfter(2), d, Options{MinCount: 1})
 	if !res.Stopped {
 		t.Fatal("cancellation not honored")
 	}

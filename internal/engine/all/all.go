@@ -1,0 +1,18 @@
+// Package all registers every miner in the repository with the engine
+// registry via blank imports. Import it for side effects wherever the full
+// algorithm set must be reachable by name (the CLIs, the job server, the
+// conformance tests):
+//
+//	import _ "repro/internal/engine/all"
+package all
+
+import (
+	_ "repro/internal/apriori"
+	_ "repro/internal/carpenter"
+	_ "repro/internal/charm"
+	_ "repro/internal/core"
+	_ "repro/internal/eclat"
+	_ "repro/internal/fpgrowth"
+	_ "repro/internal/maximal"
+	_ "repro/internal/topk"
+)

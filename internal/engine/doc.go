@@ -1,0 +1,39 @@
+// Package engine defines the uniform mining interface every algorithm in
+// this repository implements, and the process-wide registry that makes
+// them addressable by name.
+//
+// The repository ships eight miners — Pattern-Fusion (the paper's
+// contribution) and the seven exact baselines its evaluation compares
+// against (Section 6). Before this package each had its own entry
+// signature, its own ad-hoc cancellation hook, and a hand-rolled dispatch
+// switch in every caller. The engine collapses that to one contract:
+//
+//	type Algorithm interface {
+//		Name() string
+//		Mine(ctx context.Context, d *dataset.Dataset, opts Options) (*Report, error)
+//	}
+//
+// Cancellation is context-first: every miner polls ctx at its natural
+// cadence (once per fusion seed, per Apriori level, per DFS node) and
+// returns a partial Report with Stopped=true. Deadlines are therefore
+// plain context.WithTimeout at the call site. Progress is observable
+// through Options.Observer, a synchronous callback receiving structured
+// Events (phase, iteration, pool size) at the same cadence.
+//
+// # Registry
+//
+// Miner packages register an adapter from init, keyed by the historical
+// CLI names: "fusion" (core), "apriori", "fpgrowth", "eclat", "closed"
+// (charm), "closedrows" (carpenter), "maximal", "topk". Importing
+// repro/internal/engine/all (blank import) pulls in all eight; Get, Names
+// and All look them up. cmd/pfmine iterates the registry for dispatch and
+// help text, and cmd/pfserve exposes every registered algorithm over
+// HTTP, so a new miner becomes reachable everywhere by registering.
+//
+// # Determinism
+//
+// A Report is a pure function of (algorithm, dataset, Options): no
+// timestamps, no scheduling artifacts. Fusion's bit-identical-across-
+// Parallelism guarantee is preserved — the registry conformance tests pin
+// both properties for every registered algorithm.
+package engine

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+)
+
+// Algorithm is the uniform interface every miner in this repository
+// implements: a name for registry lookup and a single context-first entry
+// point. Implementations must honor ctx cancellation promptly (at their
+// natural polling cadence — per fusion seed, per Apriori level, per DFS
+// node), must be deterministic given (d, opts), and must return a partial
+// Report with Stopped=true rather than an error when canceled mid-run.
+type Algorithm interface {
+	// Name returns the registry name (e.g. "fusion", "apriori").
+	Name() string
+	// Mine runs the algorithm on d under opts. It returns an error only
+	// for invalid options; cancellation yields a partial Report with
+	// Stopped=true and a nil error.
+	Mine(ctx context.Context, d *dataset.Dataset, opts Options) (*Report, error)
+}
+
+// Options is the shared parameter set of all registered algorithms. Each
+// algorithm reads the fields that apply to it and ignores the rest; zero
+// values select per-algorithm defaults. The field ↔ algorithm mapping:
+//
+//	MinCount / MinSupport  all:        support threshold (MinCount wins)
+//	K                      fusion:     max patterns; topk: k (default 100)
+//	Tau                    fusion:     core ratio τ (default 0.5)
+//	InitPoolMaxSize        fusion:     phase-1 pool max pattern size (default 3)
+//	MinSize                closed, closedrows, topk: minimum pattern size
+//	MaxSize                apriori, eclat, fpgrowth: maximum pattern size
+//	Seed                   fusion:     RNG seed (default 1)
+//	Parallelism            fusion:     fusion workers (0 = all CPUs)
+//	Observer               all:        progress-event callback
+type Options struct {
+	// MinCount is the absolute minimum support count. If zero, MinSupport
+	// is used instead.
+	MinCount int
+	// MinSupport is the relative minimum support σ ∈ [0,1], used only when
+	// MinCount is zero.
+	MinSupport float64
+	// K is the result-size budget: fusion's K and topk's k.
+	K int
+	// Tau is fusion's core ratio τ ∈ (0,1]; zero selects the default 0.5.
+	Tau float64
+	// InitPoolMaxSize bounds fusion's phase-1 pattern size; zero selects 3.
+	InitPoolMaxSize int
+	// MinSize is the minimum reported pattern size (closed, closedrows,
+	// topk).
+	MinSize int
+	// MaxSize is the maximum reported pattern size (apriori, eclat,
+	// fpgrowth); zero means unbounded.
+	MaxSize int
+	// Seed seeds fusion's deterministic RNG; zero selects 1 so that the
+	// zero Options value is still a valid, reproducible configuration.
+	Seed uint64
+	// Parallelism is fusion's per-iteration worker count; zero means all
+	// CPUs. Results are bit-identical for every value.
+	Parallelism int
+	// Observer, if non-nil, receives progress events. It is called
+	// synchronously from the mining goroutine (never concurrently) and
+	// must not block; see Event.
+	Observer Observer
+}
+
+// ResolveMinCount resolves the configured support threshold against d:
+// MinCount if set, otherwise ceil(MinSupport·|D|), never below 1.
+func (o Options) ResolveMinCount(d *dataset.Dataset) int {
+	if o.MinCount > 0 {
+		return o.MinCount
+	}
+	if mc := d.MinCount(o.MinSupport); mc > 1 {
+		return mc
+	}
+	return 1
+}
+
+// Report is the uniform outcome of an Algorithm run. Fields not meaningful
+// for an algorithm are zero. A Report is a pure function of
+// (algorithm, dataset, Options) — it carries no timestamps or other
+// nondeterminism, which is what the byte-identical determinism conformance
+// test pins.
+type Report struct {
+	// Algorithm is the registry name of the algorithm that produced this
+	// report.
+	Algorithm string
+	// Patterns is the mined pattern set, sorted by decreasing size (ties
+	// broken lexicographically by itemset) — see dataset.SortPatterns.
+	// Patterns mined by horizontal algorithms (fpgrowth) carry memoized
+	// support counts but nil TID sets.
+	Patterns []*dataset.Pattern
+	// InitPoolSize is fusion's phase-1 pool size.
+	InitPoolSize int
+	// Iterations counts fusion iterations or Apriori levels.
+	Iterations int
+	// Visited counts DFS nodes explored (charm, carpenter, maximal, topk).
+	Visited int
+	// Stopped is true if the run was canceled before completion; Patterns
+	// is then a partial result.
+	Stopped bool
+}
+
+// Phase labels the stage of a run an Event reports on.
+type Phase string
+
+const (
+	// PhaseStart is emitted once before mining begins.
+	PhaseStart Phase = "start"
+	// PhaseInitPool is emitted by fusion after phase 1 (the initial pool).
+	PhaseInitPool Phase = "init-pool"
+	// PhaseIteration is a periodic progress tick: one fusion iteration,
+	// one Apriori level, or ProgressStride DFS nodes.
+	PhaseIteration Phase = "iteration"
+	// PhaseDone is emitted once after mining completes (also when
+	// canceled).
+	PhaseDone Phase = "done"
+)
+
+// Event is one structured progress observation. Events are emitted
+// synchronously from the mining goroutine at the same cadence cancellation
+// is polled, so an Observer never races the miner.
+type Event struct {
+	// Algorithm is the emitting algorithm's registry name.
+	Algorithm string `json:"algorithm"`
+	// Phase labels the stage; see the Phase constants.
+	Phase Phase `json:"phase"`
+	// Iteration is the fusion iteration / Apriori level / DFS-node count
+	// reaching this event.
+	Iteration int `json:"iteration"`
+	// PoolSize is the current candidate-pool or result-set size.
+	PoolSize int `json:"pool_size"`
+	// Pool, when non-nil, is the live candidate pool behind PoolSize
+	// (fusion iterations only). Observers must not modify or retain it;
+	// it is omitted from JSON encodings.
+	Pool []*dataset.Pattern `json:"-"`
+}
+
+// Observer receives progress events. A nil Observer is always safe to
+// Emit on.
+type Observer func(Event)
+
+// Emit calls o with e if o is non-nil.
+func (o Observer) Emit(e Event) {
+	if o != nil {
+		o(e)
+	}
+}
+
+// Run brackets a miner invocation with the uniform engine contract so it
+// lives in one place instead of eight adapters: a PhaseStart event
+// before; then Algorithm stamping, canonical pattern sorting (largest
+// first) and a PhaseDone event — carrying the iteration count, or the
+// visited-node count for the DFS miners — after. mine returns the raw
+// report; errors pass through unbracketed.
+func Run(name string, obs Observer, mine func() (*Report, error)) (*Report, error) {
+	obs.Emit(Event{Algorithm: name, Phase: PhaseStart})
+	rep, err := mine()
+	if err != nil {
+		return nil, err
+	}
+	rep.Algorithm = name
+	dataset.SortPatterns(rep.Patterns)
+	done := Event{Algorithm: name, Phase: PhaseDone, Iteration: rep.Iterations, PoolSize: len(rep.Patterns)}
+	if done.Iteration == 0 {
+		done.Iteration = rep.Visited
+	}
+	obs.Emit(done)
+	return rep, nil
+}
+
+// ProgressStride is the DFS-node cadence at which the depth-first miners
+// (eclat, fpgrowth, charm, carpenter, maximal, topk) emit PhaseIteration
+// events: one event every ProgressStride visited nodes. Cancellation is
+// still polled at every node.
+const ProgressStride = 4096

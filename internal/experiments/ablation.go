@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/core"
@@ -42,7 +43,7 @@ func Ablations(cfg AblationConfig) (map[string][]AblationRow, error) {
 		pf.Parallelism = corePar(cfg.Parallelism)
 		mutate(&pf)
 		t0 := time.Now()
-		res, err := core.Mine(d, pf)
+		res, err := core.Mine(context.Background(), d, pf)
 		if err != nil {
 			return AblationRow{}, err
 		}

@@ -10,6 +10,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,14 +28,14 @@ import (
 	"repro/internal/topk"
 )
 
-// deadlineCancel returns a cancellation func for a time budget. A zero
-// budget never cancels.
-func deadlineCancel(budget time.Duration) func() bool {
+// budgetContext returns a Context enforcing a time budget, plus its cancel
+// func (which must be called to release the deadline timer). A zero budget
+// never cancels.
+func budgetContext(budget time.Duration) (context.Context, context.CancelFunc) {
 	if budget <= 0 {
-		return nil
+		return context.Background(), func() {}
 	}
-	deadline := time.Now().Add(budget)
-	return func() bool { return time.Now().After(deadline) }
+	return context.WithTimeout(context.Background(), budget)
 }
 
 // corePar maps an experiment-level Parallelism value to the one handed to
@@ -129,7 +130,9 @@ func Intro(budget time.Duration, seed uint64, parallelism int) (*IntroResult, er
 	res := &IntroResult{}
 
 	t0 := time.Now()
-	mres := maximal.MineOpts(d, maximal.Options{MinCount: 20, Canceled: deadlineCancel(budget)})
+	mctx, mcancel := budgetContext(budget)
+	mres := maximal.MineOpts(mctx, d, maximal.Options{MinCount: 20})
+	mcancel()
 	res.MaximalTime = time.Since(t0)
 	res.MaximalTimedOut = mres.Stopped
 	res.MaximalFound = len(mres.Patterns)
@@ -140,7 +143,7 @@ func Intro(budget time.Duration, seed uint64, parallelism int) (*IntroResult, er
 	cfg.Seed = seed
 	cfg.Parallelism = corePar(parallelism)
 	t0 = time.Now()
-	fres, err := core.Mine(d, cfg)
+	fres, err := core.Mine(context.Background(), d, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -207,7 +210,9 @@ func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
 		row := Fig6Row{N: n}
 
 		t0 := time.Now()
-		mres := maximal.MineOpts(d, maximal.Options{MinCount: minCount, Canceled: deadlineCancel(cfg.Budget)})
+		mctx, mcancel := budgetContext(cfg.Budget)
+		mres := maximal.MineOpts(mctx, d, maximal.Options{MinCount: minCount})
+		mcancel()
 		row.MaximalTime = time.Since(t0)
 		row.MaximalOut = mres.Stopped
 		row.MaximalFound = len(mres.Patterns)
@@ -219,7 +224,7 @@ func Fig6(cfg Fig6Config) ([]Fig6Row, error) {
 		pf.Seed = cfg.Seed
 		pf.Parallelism = corePar(cfg.Parallelism)
 		t0 = time.Now()
-		fres, err := core.Mine(d, pf)
+		fres, err := core.Mine(context.Background(), d, pf)
 		if err != nil {
 			return err
 		}
@@ -300,7 +305,7 @@ func Fig7(cfg Fig7Config) ([]Fig7Row, error) {
 		pf.InitPoolMaxSize = 2
 		pf.Seed = cr.Uint64()
 		pf.Parallelism = corePar(cfg.Parallelism)
-		res, err := core.Mine(d, pf)
+		res, err := core.Mine(context.Background(), d, pf)
 		if err != nil {
 			return err
 		}
@@ -374,7 +379,9 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 	d, paths := datagen.Replace(cfg.Seed)
 	minCount := d.MinCount(cfg.Sigma)
 
-	closed := charm.MineOpts(d, charm.Options{MinCount: minCount, Canceled: deadlineCancel(cfg.Budget)})
+	cctx, ccancel := budgetContext(cfg.Budget)
+	closed := charm.MineOpts(cctx, d, charm.Options{MinCount: minCount})
+	ccancel()
 	if closed.Stopped {
 		return nil, fmt.Errorf("fig8: complete closed mining exceeded budget with %d patterns", len(closed.Patterns))
 	}
@@ -393,7 +400,7 @@ func Fig8(cfg Fig8Config) (*Fig8Result, error) {
 		pf.InitPoolMaxSize = 3
 		pf.Seed = cfg.Seed + uint64(k)
 		pf.Parallelism = corePar(cfg.Parallelism)
-		res, err := core.Mine(d, pf)
+		res, err := core.Mine(context.Background(), d, pf)
 		if err != nil {
 			return err
 		}
@@ -484,7 +491,7 @@ func Fig9(cfg Fig9Config) (*Fig9Result, error) {
 	pf.InitPoolMaxSize = 2
 	pf.Seed = cfg.Seed
 	pf.Parallelism = corePar(cfg.Parallelism)
-	fres, err := core.Mine(d, pf)
+	fres, err := core.Mine(context.Background(), d, pf)
 	if err != nil {
 		return nil, err
 	}
@@ -576,12 +583,16 @@ func Fig10(cfg Fig10Config) ([]Fig10Row, error) {
 		row := Fig10Row{MinCount: mc}
 
 		t0 := time.Now()
-		mres := maximal.MineOpts(d, maximal.Options{MinCount: mc, Canceled: deadlineCancel(cfg.Budget)})
+		mctx, mcancel := budgetContext(cfg.Budget)
+		mres := maximal.MineOpts(mctx, d, maximal.Options{MinCount: mc})
+		mcancel()
 		row.MaximalTime = time.Since(t0)
 		row.MaximalOut = mres.Stopped
 
 		t0 = time.Now()
-		tres := topk.MineOpts(d, topk.Options{K: cfg.TopKK, MinLength: cfg.TopKMinL, FloorMin: mc, Canceled: deadlineCancel(cfg.Budget)})
+		tctx, tcancel := budgetContext(cfg.Budget)
+		tres := topk.MineOpts(tctx, d, topk.Options{K: cfg.TopKK, MinLength: cfg.TopKMinL, FloorMin: mc})
+		tcancel()
 		row.TopKTime = time.Since(t0)
 		row.TopKOut = tres.Stopped
 
@@ -591,7 +602,7 @@ func Fig10(cfg Fig10Config) ([]Fig10Row, error) {
 		pf.Seed = cfg.Seed
 		pf.Parallelism = corePar(cfg.Parallelism)
 		t0 = time.Now()
-		if _, err := core.Mine(d, pf); err != nil {
+		if _, err := core.Mine(context.Background(), d, pf); err != nil {
 			return err
 		}
 		row.FusionTime = time.Since(t0)

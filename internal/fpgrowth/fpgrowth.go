@@ -9,9 +9,11 @@
 package fpgrowth
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/fptree"
 	"repro/internal/itemset"
 )
@@ -26,9 +28,9 @@ type ItemsetCount struct {
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int         // absolute minimum support count (≥ 1)
-	MaxSize  int         // only report itemsets up to this size; 0 = unbounded
-	Canceled func() bool // optional cooperative cancellation
+	MinCount int             // absolute minimum support count (≥ 1)
+	MaxSize  int             // only report itemsets up to this size; 0 = unbounded
+	Observer engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
 
 // Result is the outcome of a mining run.
@@ -40,17 +42,19 @@ type Result struct {
 // Mine returns the complete set of frequent itemsets of d with support
 // count at least minCount.
 func Mine(d *dataset.Dataset, minCount int) *Result {
-	return MineOpts(d, Options{MinCount: minCount})
+	return MineOpts(context.Background(), d, Options{MinCount: minCount})
 }
 
-// MineOpts runs FP-growth under the given options.
-func MineOpts(d *dataset.Dataset, opts Options) *Result {
+// MineOpts runs FP-growth under the given options. Cancellation is polled
+// on ctx at every conditional-tree node; a canceled run returns the
+// itemsets found so far with Stopped=true.
+func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
 	res := &Result{}
 	tree := fptree.Build(d, opts.MinCount)
-	m := &miner{opts: opts, res: res}
+	m := &miner{ctx: ctx, opts: opts, res: res}
 	m.grow(tree, nil)
 	// Deterministic presentation order.
 	sort.Slice(res.Itemsets, func(i, j int) bool {
@@ -60,12 +64,21 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 }
 
 type miner struct {
-	opts Options
-	res  *Result
+	ctx   context.Context
+	opts  Options
+	res   *Result
+	polls int
 }
 
 func (m *miner) canceled() bool {
-	if m.opts.Canceled != nil && m.opts.Canceled() {
+	m.polls++
+	if m.opts.Observer != nil && m.polls%engine.ProgressStride == 0 {
+		m.opts.Observer(engine.Event{
+			Algorithm: Name, Phase: engine.PhaseIteration,
+			Iteration: m.polls, PoolSize: len(m.res.Itemsets),
+		})
+	}
+	if m.ctx.Err() != nil {
 		m.res.Stopped = true
 		return true
 	}

@@ -1,6 +1,7 @@
 package fpgrowth
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/datagen"
@@ -72,7 +73,7 @@ func TestSinglePathShortCircuit(t *testing.T) {
 func TestMaxSize(t *testing.T) {
 	r := rng.New(5)
 	d := datagen.Random(r, 25, 8, 0.5)
-	res := MineOpts(d, Options{MinCount: 2, MaxSize: 2})
+	res := MineOpts(context.Background(), d, Options{MinCount: 2, MaxSize: 2})
 	for _, ic := range res.Itemsets {
 		if len(ic.Items) > 2 {
 			t.Fatalf("itemset %v exceeds MaxSize", ic.Items)
@@ -123,11 +124,7 @@ func TestDuplicateTransactions(t *testing.T) {
 
 func TestCancellation(t *testing.T) {
 	d := datagen.Diag(18)
-	calls := 0
-	res := MineOpts(d, Options{MinCount: 1, Canceled: func() bool {
-		calls++
-		return calls > 3
-	}})
+	res := MineOpts(minertest.CancelAfter(3), d, Options{MinCount: 1})
 	if !res.Stopped {
 		t.Fatal("cancellation not honored")
 	}

@@ -1,0 +1,29 @@
+package maximal
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// Name is this algorithm's engine registry name.
+const Name = "maximal"
+
+type algorithm struct{}
+
+func init() { engine.Register(algorithm{}) }
+
+func (algorithm) Name() string { return Name }
+
+// Mine implements engine.Algorithm: the complete maximal frequent set at
+// the resolved support threshold.
+func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
+	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+		res := MineOpts(ctx, d, Options{
+			MinCount: opts.ResolveMinCount(d),
+			Observer: opts.Observer,
+		})
+		return &engine.Report{Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
+	})
+}

@@ -23,17 +23,19 @@
 package maximal
 
 import (
+	"context"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/itemset"
 )
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int         // absolute minimum support count (≥ 1)
-	Canceled func() bool // optional cooperative cancellation
+	MinCount int             // absolute minimum support count (≥ 1)
+	Observer engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
 
 // Result is the outcome of a mining run.
@@ -46,15 +48,17 @@ type Result struct {
 // Mine returns all maximal frequent patterns of d with support count at
 // least minCount.
 func Mine(d *dataset.Dataset, minCount int) *Result {
-	return MineOpts(d, Options{MinCount: minCount})
+	return MineOpts(context.Background(), d, Options{MinCount: minCount})
 }
 
-// MineOpts runs the maximal miner under the given options.
-func MineOpts(d *dataset.Dataset, opts Options) *Result {
+// MineOpts runs the maximal miner under the given options. Cancellation is
+// polled on ctx at every search node; a canceled run returns the patterns
+// found so far with Stopped=true.
+func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
-	m := &miner{d: d, opts: opts, res: &Result{}}
+	m := &miner{ctx: ctx, d: d, opts: opts, res: &Result{}}
 
 	var tail []extension
 	for _, item := range d.FrequentItems(opts.MinCount) {
@@ -77,6 +81,7 @@ type extension struct {
 }
 
 type miner struct {
+	ctx  context.Context
 	d    *dataset.Dataset
 	opts Options
 	res  *Result
@@ -91,7 +96,13 @@ type itemBits struct {
 }
 
 func (m *miner) canceled() bool {
-	if m.opts.Canceled != nil && m.opts.Canceled() {
+	if m.opts.Observer != nil && m.res.Visited%engine.ProgressStride == 0 && m.res.Visited > 0 {
+		m.opts.Observer(engine.Event{
+			Algorithm: Name, Phase: engine.PhaseIteration,
+			Iteration: m.res.Visited, PoolSize: len(m.res.Patterns),
+		})
+	}
+	if m.ctx.Err() != nil {
 		m.res.Stopped = true
 		return true
 	}

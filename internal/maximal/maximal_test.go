@@ -116,11 +116,7 @@ func TestDegenerate(t *testing.T) {
 
 func TestCancellationReturnsPartial(t *testing.T) {
 	d := datagen.Diag(24)
-	calls := 0
-	res := MineOpts(d, Options{MinCount: 12, Canceled: func() bool {
-		calls++
-		return calls > 50
-	}})
+	res := MineOpts(minertest.CancelAfter(50), d, Options{MinCount: 12})
 	if !res.Stopped {
 		t.Fatal("cancellation not honored")
 	}

@@ -5,9 +5,39 @@
 package minertest
 
 import (
+	"context"
+	"sync/atomic"
+	"time"
+
 	"repro/internal/dataset"
 	"repro/internal/itemset"
 )
+
+// CancelAfter returns a Context whose Err flips to context.Canceled after
+// it has been polled n times — the test-side replacement for the old
+// count-based Canceled callbacks: it cancels mid-run at the miner's own
+// polling cadence, however fast the run is. Only Err carries the
+// cancellation signal; Done returns nil (block forever), which is
+// sufficient for the miners, all of which poll Err.
+func CancelAfter(n int) context.Context {
+	return &cancelAfterCtx{limit: int64(n)}
+}
+
+type cancelAfterCtx struct {
+	polls int64
+	limit int64
+}
+
+func (c *cancelAfterCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *cancelAfterCtx) Done() <-chan struct{}       { return nil }
+func (c *cancelAfterCtx) Value(any) any               { return nil }
+
+func (c *cancelAfterCtx) Err() error {
+	if atomic.AddInt64(&c.polls, 1) > c.limit {
+		return context.Canceled
+	}
+	return nil
+}
 
 // BruteForceFrequent enumerates every non-empty frequent itemset of d by
 // exhaustive subset enumeration over the item universe. It panics if the

@@ -1,0 +1,196 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// MaxBodyBytes caps a job-submission body (inline transactions included).
+const MaxBodyBytes = 32 << 20
+
+// Handler returns the pfserve HTTP API over m:
+//
+//	GET    /healthz          liveness
+//	GET    /algorithms       registered algorithm names
+//	GET    /jobs             all job snapshots, most recent first
+//	POST   /jobs             submit a JobSpec; 202 + {"id": ...}
+//	GET    /jobs/{id}        status snapshot + latest progress event
+//	GET    /jobs/{id}/events event log as NDJSON; ?follow=1 streams until
+//	                         the job is terminal
+//	GET    /jobs/{id}/result mined patterns (?top=N truncates);
+//	                         409 while the job is still active
+//	DELETE /jobs/{id}        cancel an active job (202) or remove a
+//	                         terminal one (200)
+func Handler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"algorithms": engine.Names()})
+	})
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		jobs := m.Jobs()
+		out := make([]Snapshot, len(jobs))
+		for i, j := range jobs {
+			out[i] = m.Snapshot(j)
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		var spec JobSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid job spec: %w", err))
+			return
+		}
+		j, err := m.Submit(spec)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			writeError(w, http.StatusTooManyRequests, err)
+		case err != nil:
+			writeError(w, http.StatusBadRequest, err)
+		default:
+			writeJSON(w, http.StatusAccepted, map[string]any{
+				"id":         j.ID,
+				"status_url": "/jobs/" + j.ID,
+			})
+		}
+	})
+	mux.HandleFunc("GET /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+			return
+		}
+		writeJSON(w, http.StatusOK, m.Snapshot(j))
+	})
+	mux.HandleFunc("GET /jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+			return
+		}
+		serveEvents(m, j, w, r)
+	})
+	mux.HandleFunc("GET /jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+			return
+		}
+		rep, ok := m.Report(j)
+		if !ok {
+			snap := m.Snapshot(j)
+			if snap.State == StateFailed {
+				writeError(w, http.StatusConflict, fmt.Errorf("job failed: %s", snap.Error))
+				return
+			}
+			writeError(w, http.StatusConflict, fmt.Errorf("job is %s; no result yet", snap.State))
+			return
+		}
+		writeJSON(w, http.StatusOK, renderResult(rep, r))
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if m.Cancel(id) {
+			writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "canceling": true})
+			return
+		}
+		if m.Remove(id) {
+			writeJSON(w, http.StatusOK, map[string]any{"id": id, "deleted": true})
+			return
+		}
+		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+	})
+	return mux
+}
+
+// serveEvents writes the job's event log as NDJSON. With ?follow=1 it
+// keeps streaming new events until the job is terminal or the client
+// goes away.
+func serveEvents(m *Manager, j *Job, w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	follow := r.URL.Query().Get("follow") == "1"
+	enc := json.NewEncoder(w)
+	seq := 0
+	for {
+		events, first, more := m.EventsSince(j, seq)
+		for _, e := range events {
+			if err := enc.Encode(e); err != nil {
+				return
+			}
+		}
+		seq = first + len(events)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if !follow || !more {
+			return
+		}
+		m.WaitEvents(r.Context(), j, seq)
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+// resultPattern is one mined pattern in a result payload.
+type resultPattern struct {
+	Items   []int `json:"items"`
+	Support int   `json:"support"`
+	Size    int   `json:"size"`
+}
+
+func renderResult(rep *engine.Report, r *http.Request) map[string]any {
+	patterns := rep.Patterns
+	truncated := false
+	if s := r.URL.Query().Get("top"); s != "" {
+		if top, err := strconv.Atoi(s); err == nil && top > 0 && top < len(patterns) {
+			patterns = patterns[:top]
+			truncated = true
+		}
+	}
+	out := make([]resultPattern, len(patterns))
+	for i, p := range patterns {
+		out[i] = resultPattern{Items: itemsOf(p), Support: p.Support(), Size: len(p.Items)}
+	}
+	return map[string]any{
+		"algorithm":      rep.Algorithm,
+		"patterns":       out,
+		"total_patterns": len(rep.Patterns),
+		"truncated":      truncated,
+		"init_pool_size": rep.InitPoolSize,
+		"iterations":     rep.Iterations,
+		"visited":        rep.Visited,
+		"stopped":        rep.Stopped,
+	}
+}
+
+func itemsOf(p *dataset.Pattern) []int {
+	items := make([]int, len(p.Items))
+	for i, it := range p.Items {
+		items[i] = it
+	}
+	return items
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}

@@ -1,0 +1,418 @@
+// Package server implements the pfserve job subsystem: a bounded-
+// concurrency manager that runs any engine-registered algorithm as an
+// asynchronous job with deadline + cancellation, structured progress
+// events, and capped in-flight datasets, plus the HTTP JSON API over it.
+//
+// Lifecycle: POST /jobs validates the spec and enqueues; a fixed pool of
+// worker goroutines dequeues, materializes the dataset (so at most
+// `workers` datasets are ever resident), and runs the algorithm under a
+// per-job context. GET /jobs/{id} snapshots status + latest progress,
+// GET /jobs/{id}/events streams the event log as NDJSON, GET
+// /jobs/{id}/result returns the mined patterns, DELETE /jobs/{id} cancels
+// a queued/running job or removes a finished one.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+)
+
+// State is a job's lifecycle state.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether no further transitions can happen.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Workers is the number of concurrent job runners — and therefore the
+	// cap on in-flight (materialized) datasets. Defaults to 2.
+	Workers int
+	// QueueDepth bounds the backlog of queued jobs; submissions beyond it
+	// are rejected. Defaults to 16.
+	QueueDepth int
+	// MaxCells caps the memory model of any job's dataset:
+	// |D|·|I| plus a fixed per-universe-item overhead charge (see
+	// itemOverheadCells — sparse huge item IDs cost real allocations even
+	// with few transactions). Larger datasets are rejected at submission
+	// when the shape is known, or fail the job at start otherwise.
+	// Defaults to 64M cells; negative means unlimited.
+	MaxCells int
+	// DefaultTimeout bounds a job's run time when the request does not
+	// set one; a request timeout is clamped to this value. Defaults to
+	// 5 minutes.
+	DefaultTimeout time.Duration
+	// DataDir, when non-empty, allows {"path": ...} dataset specs
+	// resolved inside this directory. Empty disables path loading.
+	DataDir string
+	// MaxEvents bounds the per-job event log; older events are dropped
+	// (the log keeps a running first-sequence offset). Defaults to 1024.
+	MaxEvents int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	if c.MaxCells == 0 {
+		c.MaxCells = 64 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 1024
+	}
+	return c
+}
+
+// Job is one mining job. All mutable state is guarded by its Manager's
+// mutex; events additionally signal the Manager's cond for streamers.
+type Job struct {
+	ID      string  `json:"id"`
+	Spec    JobSpec `json:"spec"`
+	State   State   `json:"state"`
+	Error   string  `json:"error,omitempty"`
+	Created time.Time
+	Started time.Time
+	Ended   time.Time
+
+	seq        int // monotone submission sequence (the <n> of "job-<n>")
+	report     *engine.Report
+	events     []engine.Event
+	eventsBase int // sequence number of events[0]
+	cancel     context.CancelFunc
+	userCancel bool
+}
+
+// Manager owns the job table, the bounded queue, and the worker pool.
+type Manager struct {
+	cfg   Config
+	mu    sync.Mutex
+	cond  *sync.Cond // broadcast on any job state/event change
+	jobs  map[string]*Job
+	queue chan *Job
+	next  int
+	wg    sync.WaitGroup
+	root  context.Context
+	stop  context.CancelFunc
+}
+
+// NewManager starts a manager with cfg.Workers runner goroutines.
+func NewManager(cfg Config) *Manager {
+	cfg = cfg.withDefaults()
+	root, stop := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:   cfg,
+		jobs:  make(map[string]*Job),
+		queue: make(chan *Job, cfg.QueueDepth),
+		root:  root,
+		stop:  stop,
+	}
+	m.cond = sync.NewCond(&m.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Close cancels every job, stops the workers, and waits for them.
+func (m *Manager) Close() {
+	m.stop()
+	m.mu.Lock()
+	close(m.queue)
+	for _, j := range m.jobs {
+		if j.cancel != nil {
+			j.cancel()
+		}
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	m.wg.Wait()
+}
+
+// Submit validates spec and enqueues a new job. It returns an error when
+// the spec is invalid; a full queue returns ErrQueueFull.
+func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+	if err := spec.validate(m.cfg); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.root.Err() != nil {
+		return nil, fmt.Errorf("server: manager is shut down")
+	}
+	m.next++
+	j := &Job{
+		ID:      fmt.Sprintf("job-%d", m.next),
+		seq:     m.next,
+		Spec:    spec,
+		State:   StateQueued,
+		Created: time.Now(),
+	}
+	select {
+	case m.queue <- j:
+	default:
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.ID] = j
+	m.cond.Broadcast()
+	return j, nil
+}
+
+// ErrQueueFull is returned by Submit when the backlog is at QueueDepth.
+var ErrQueueFull = fmt.Errorf("server: job queue is full")
+
+// Get returns the job with the given id.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Cancel cancels a queued or running job (returning true) ; canceling a
+// terminal or unknown job returns false.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || j.State.Terminal() {
+		return false
+	}
+	j.userCancel = true
+	if j.State == StateQueued {
+		// The worker will observe userCancel when it dequeues.
+		j.State = StateCanceled
+		j.Ended = time.Now()
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
+	m.cond.Broadcast()
+	return true
+}
+
+// Remove deletes a terminal job's record, returning false for active or
+// unknown jobs.
+func (m *Manager) Remove(id string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok || !j.State.Terminal() {
+		return false
+	}
+	delete(m.jobs, id)
+	return true
+}
+
+// Jobs snapshots all jobs, most recent first (by submission sequence, so
+// the order is deterministic even for same-instant submissions).
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.jobs))
+	for _, j := range m.jobs {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].seq > out[k].seq })
+	return out
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.run(j)
+	}
+}
+
+// run executes one job: materialize the dataset, then mine under a
+// per-job deadline context.
+func (m *Manager) run(j *Job) {
+	m.mu.Lock()
+	if j.State != StateQueued { // canceled while queued
+		m.mu.Unlock()
+		return
+	}
+	timeout := m.cfg.DefaultTimeout
+	if t := j.Spec.timeout(); t > 0 && t < timeout {
+		timeout = t
+	}
+	ctx, cancel := context.WithTimeout(m.root, timeout)
+	j.cancel = cancel
+	j.State = StateRunning
+	j.Started = time.Now()
+	m.cond.Broadcast()
+	m.mu.Unlock()
+	defer cancel()
+
+	rep, err := m.mine(ctx, j)
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j.Ended = time.Now()
+	switch {
+	case err != nil:
+		j.State = StateFailed
+		j.Error = err.Error()
+	case j.userCancel:
+		j.State = StateCanceled
+		j.report = rep // partial results stay retrievable
+	default:
+		j.State = StateDone
+		j.report = rep
+	}
+	m.cond.Broadcast()
+}
+
+// mine materializes the job's dataset and runs its algorithm. A panic
+// anywhere below (a generator bound, a miner edge case) is confined to
+// this job — the worker goroutine has no net/http recover above it, so
+// without this a single malformed job would crash the whole server.
+func (m *Manager) mine(ctx context.Context, j *Job) (rep *engine.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, fmt.Errorf("server: job panicked: %v", r)
+		}
+	}()
+	alg, err := engine.Get(j.Spec.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	d, err := j.Spec.Dataset.build(m.cfg)
+	if err != nil {
+		return nil, err
+	}
+	opts := j.Spec.Options.engineOptions()
+	opts.Observer = func(e engine.Event) { m.appendEvent(j, e) }
+	return alg.Mine(ctx, d, opts)
+}
+
+func (m *Manager) appendEvent(j *Job, e engine.Event) {
+	e.Pool = nil // never retain live miner state
+	m.mu.Lock()
+	j.events = append(j.events, e)
+	// Trim in batches: let the log grow to 2×MaxEvents, then drop back to
+	// MaxEvents, so a long job pays one copy per MaxEvents events instead
+	// of one per event.
+	if len(j.events) >= 2*m.cfg.MaxEvents {
+		over := len(j.events) - m.cfg.MaxEvents
+		j.events = append(j.events[:0:0], j.events[over:]...)
+		j.eventsBase += over
+	}
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}
+
+// Snapshot is a consistent copy of a job's externally visible state.
+type Snapshot struct {
+	ID        string        `json:"id"`
+	Algorithm string        `json:"algorithm"`
+	State     State         `json:"state"`
+	Error     string        `json:"error,omitempty"`
+	Created   time.Time     `json:"created_at"`
+	Started   *time.Time    `json:"started_at,omitempty"`
+	Ended     *time.Time    `json:"ended_at,omitempty"`
+	Events    int           `json:"events"`
+	Progress  *engine.Event `json:"progress,omitempty"`
+	Patterns  int           `json:"patterns"`
+	Stopped   bool          `json:"stopped"`
+}
+
+// Snapshot renders the job's current status.
+func (m *Manager) Snapshot(j *Job) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Snapshot{
+		ID:        j.ID,
+		Algorithm: j.Spec.Algorithm,
+		State:     j.State,
+		Error:     j.Error,
+		Created:   j.Created,
+		Events:    j.eventsBase + len(j.events),
+	}
+	if !j.Started.IsZero() {
+		t := j.Started
+		s.Started = &t
+	}
+	if !j.Ended.IsZero() {
+		t := j.Ended
+		s.Ended = &t
+	}
+	if n := len(j.events); n > 0 {
+		e := j.events[n-1]
+		s.Progress = &e
+	}
+	if j.report != nil {
+		s.Patterns = len(j.report.Patterns)
+		s.Stopped = j.report.Stopped
+	}
+	return s
+}
+
+// Report returns the job's report once terminal; ok is false while the
+// job is still queued or running, or when it failed without a report.
+func (m *Manager) Report(j *Job) (*engine.Report, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !j.State.Terminal() || j.report == nil {
+		return nil, false
+	}
+	return j.report, true
+}
+
+// EventsSince returns the events with sequence number >= seq plus the
+// sequence number of the first returned event, and whether the job can
+// still produce more.
+func (m *Manager) EventsSince(j *Job, seq int) (events []engine.Event, first int, more bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if seq < j.eventsBase {
+		seq = j.eventsBase
+	}
+	if idx := seq - j.eventsBase; idx < len(j.events) {
+		events = append(events, j.events[idx:]...)
+	}
+	return events, seq, !j.State.Terminal()
+}
+
+// WaitEvents blocks until the job has an event with sequence >= seq or
+// becomes terminal, or ctx is done. It exists for the NDJSON streamer.
+func (m *Manager) WaitEvents(ctx context.Context, j *Job, seq int) {
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-done:
+			return
+		}
+		m.mu.Lock()
+		m.cond.Broadcast()
+		m.mu.Unlock()
+	}()
+	defer close(done)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for ctx.Err() == nil && !j.State.Terminal() && j.eventsBase+len(j.events) <= seq {
+		m.cond.Wait()
+	}
+}

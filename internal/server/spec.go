@@ -1,0 +1,242 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/rng"
+)
+
+// JobSpec is the body of POST /jobs.
+type JobSpec struct {
+	// Algorithm is an engine registry name (see GET /algorithms).
+	Algorithm string `json:"algorithm"`
+	// Dataset names the transaction database to mine.
+	Dataset DatasetSpec `json:"dataset"`
+	// Options are the engine options; zero values pick algorithm
+	// defaults.
+	Options OptionsSpec `json:"options"`
+	// TimeoutMS optionally bounds the run; it is clamped to the server's
+	// default timeout.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+func (s JobSpec) timeout() time.Duration {
+	return time.Duration(s.TimeoutMS) * time.Millisecond
+}
+
+func (s JobSpec) validate(cfg Config) error {
+	if _, err := engine.Get(s.Algorithm); err != nil {
+		return err
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("server: timeout_ms must be >= 0, got %d", s.TimeoutMS)
+	}
+	return s.Dataset.validate(cfg)
+}
+
+// DatasetSpec selects exactly one dataset source: inline transactions, a
+// FIMI file under the server's data directory, or one of the paper's
+// generators.
+type DatasetSpec struct {
+	// Transactions is an inline transaction database (non-negative item
+	// IDs; the request body size cap bounds it).
+	Transactions [][]int `json:"transactions,omitempty"`
+	// Path is a FIMI-format file resolved inside the server's -data-dir;
+	// rejected when the server runs without one.
+	Path string `json:"path,omitempty"`
+	// Generator is one of "diag", "diagplus", "random", "replace",
+	// "microarray" (the Section 6 workloads), parameterized by the fields
+	// below.
+	Generator string  `json:"generator,omitempty"`
+	N         int     `json:"n,omitempty"`          // diag/diagplus: matrix size
+	ExtraRows int     `json:"extra_rows,omitempty"` // diagplus
+	ExtraCols int     `json:"extra_cols,omitempty"` // diagplus
+	Txns      int     `json:"txns,omitempty"`       // random
+	Items     int     `json:"items,omitempty"`      // random
+	Density   float64 `json:"density,omitempty"`    // random
+	Seed      uint64  `json:"seed,omitempty"`       // random/replace/microarray
+}
+
+func (ds DatasetSpec) sources() int {
+	n := 0
+	if len(ds.Transactions) > 0 {
+		n++
+	}
+	if ds.Path != "" {
+		n++
+	}
+	if ds.Generator != "" {
+		n++
+	}
+	return n
+}
+
+func (ds DatasetSpec) validate(cfg Config) error {
+	if ds.sources() != 1 {
+		return fmt.Errorf("server: dataset must set exactly one of transactions, path, generator")
+	}
+	if ds.Path != "" {
+		if cfg.DataDir == "" {
+			return fmt.Errorf("server: path datasets are disabled (server started without -data-dir)")
+		}
+		if _, err := resolvePath(cfg.DataDir, ds.Path); err != nil {
+			return err
+		}
+	}
+	if ds.Generator != "" {
+		switch ds.Generator {
+		case "diag":
+			if ds.N < 2 {
+				return fmt.Errorf("server: diag requires n >= 2")
+			}
+		case "diagplus":
+			if ds.N < 2 || ds.ExtraRows < 1 || ds.ExtraCols < 1 {
+				return fmt.Errorf("server: diagplus requires n >= 2, extra_rows >= 1, extra_cols >= 1")
+			}
+		case "random":
+			if ds.Txns < 1 || ds.Items < 1 || ds.Density <= 0 || ds.Density > 1 {
+				return fmt.Errorf("server: random requires txns >= 1, items >= 1, density in (0,1]")
+			}
+		case "replace", "microarray":
+			// seed-only
+		default:
+			return fmt.Errorf("server: unknown generator %q (known: diag, diagplus, random, replace, microarray)", ds.Generator)
+		}
+	}
+	if rows, items, known := ds.sizeBound(); known && overCellCap(rows, items, cfg.MaxCells) {
+		return fmt.Errorf("server: dataset of %d×%d exceeds the %d-cell cap", rows, items, cfg.MaxCells)
+	}
+	return nil
+}
+
+// itemOverheadCells is the fixed per-item cost charged against MaxCells.
+// The vertical representation allocates a bitset (header + slice entry)
+// for every ID of the item universe, so a sparse dataset with a single
+// huge item ID is expensive even with one transaction — the |D|·|I| cell
+// count alone would let it slip under the cap.
+const itemOverheadCells = 64
+
+// overCellCap reports whether a rows×items dataset exceeds maxCells,
+// charging itemOverheadCells per universe item. Overflow-safe: negative
+// dimensions (an upstream addition may already have wrapped) count as
+// over, and both factors are bounded by division before any multiply.
+func overCellCap(rows, items, maxCells int) bool {
+	if maxCells <= 0 {
+		return false
+	}
+	if rows < 0 || items < 0 {
+		return true
+	}
+	if items > maxCells/itemOverheadCells {
+		return true
+	}
+	if items > 0 && rows > maxCells/items {
+		return true
+	}
+	return rows*items+items*itemOverheadCells > maxCells
+}
+
+// sizeBound computes |D|×|I| for specs whose shape is known up front.
+func (ds DatasetSpec) sizeBound() (rows, items int, known bool) {
+	switch {
+	case len(ds.Transactions) > 0:
+		maxItem := -1
+		for _, t := range ds.Transactions {
+			for _, it := range t {
+				if it > maxItem {
+					maxItem = it
+				}
+			}
+		}
+		return len(ds.Transactions), maxItem + 1, true
+	case ds.Generator == "diag":
+		return ds.N, ds.N, true
+	case ds.Generator == "diagplus":
+		return ds.N + ds.ExtraRows, ds.N + ds.ExtraCols, true
+	case ds.Generator == "random":
+		return ds.Txns, ds.Items, true
+	}
+	return 0, 0, false
+}
+
+// resolvePath joins name onto root and rejects escapes.
+func resolvePath(root, name string) (string, error) {
+	clean := filepath.Clean("/" + name) // forces a rooted, dot-dot-free path
+	full := filepath.Join(root, clean)
+	if rel, err := filepath.Rel(root, full); err != nil || rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+		return "", fmt.Errorf("server: path %q escapes the data directory", name)
+	}
+	return full, nil
+}
+
+// build materializes the dataset. It runs on a worker goroutine so that
+// at most Config.Workers datasets are in flight, and re-checks the cell
+// cap for sources whose size is only known after loading.
+func (ds DatasetSpec) build(cfg Config) (*dataset.Dataset, error) {
+	var d *dataset.Dataset
+	var err error
+	switch {
+	case len(ds.Transactions) > 0:
+		d, err = dataset.New(ds.Transactions)
+	case ds.Path != "":
+		var full string
+		if full, err = resolvePath(cfg.DataDir, ds.Path); err == nil {
+			if _, err = os.Stat(full); err == nil {
+				d, err = dataset.Load(full)
+			}
+		}
+	case ds.Generator == "diag":
+		d = datagen.Diag(ds.N)
+	case ds.Generator == "diagplus":
+		d = datagen.DiagPlus(ds.N, ds.ExtraRows, ds.ExtraCols)
+	case ds.Generator == "random":
+		d = datagen.Random(rng.New(ds.Seed), ds.Txns, ds.Items, ds.Density)
+	case ds.Generator == "replace":
+		d, _ = datagen.Replace(ds.Seed)
+	case ds.Generator == "microarray":
+		d, _ = datagen.Microarray(ds.Seed)
+	default:
+		err = fmt.Errorf("server: empty dataset spec")
+	}
+	if err != nil {
+		return nil, err
+	}
+	if overCellCap(d.Size(), d.NumItems(), cfg.MaxCells) {
+		return nil, fmt.Errorf("server: dataset of %d×%d exceeds the %d-cell cap", d.Size(), d.NumItems(), cfg.MaxCells)
+	}
+	return d, nil
+}
+
+// OptionsSpec is the JSON shape of engine.Options.
+type OptionsSpec struct {
+	MinCount        int     `json:"min_count,omitempty"`
+	MinSupport      float64 `json:"min_support,omitempty"`
+	K               int     `json:"k,omitempty"`
+	Tau             float64 `json:"tau,omitempty"`
+	InitPoolMaxSize int     `json:"init_pool_max_size,omitempty"`
+	MinSize         int     `json:"min_size,omitempty"`
+	MaxSize         int     `json:"max_size,omitempty"`
+	Seed            uint64  `json:"seed,omitempty"`
+	Parallelism     int     `json:"parallelism,omitempty"`
+}
+
+func (o OptionsSpec) engineOptions() engine.Options {
+	return engine.Options{
+		MinCount:        o.MinCount,
+		MinSupport:      o.MinSupport,
+		K:               o.K,
+		Tau:             o.Tau,
+		InitPoolMaxSize: o.InitPoolMaxSize,
+		MinSize:         o.MinSize,
+		MaxSize:         o.MaxSize,
+		Seed:            o.Seed,
+		Parallelism:     o.Parallelism,
+	}
+}

@@ -1,0 +1,40 @@
+package topk
+
+import (
+	"context"
+
+	"repro/internal/dataset"
+	"repro/internal/engine"
+)
+
+// Name is this algorithm's engine registry name.
+const Name = "topk"
+
+type algorithm struct{}
+
+func init() { engine.Register(algorithm{}) }
+
+func (algorithm) Name() string { return Name }
+
+// Mine implements engine.Algorithm: the top Options.K most frequent closed
+// patterns of at least Options.MinSize items. Options.MinCount /
+// MinSupport act as TFP's optional support floor.
+func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
+	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+		k := opts.K
+		if k == 0 {
+			k = 100
+		}
+		floor := 1
+		if opts.MinCount > 0 || opts.MinSupport > 0 {
+			floor = opts.ResolveMinCount(d)
+		}
+		res := MineOpts(ctx, d, Options{
+			K:         k,
+			MinLength: opts.MinSize,
+			FloorMin:  floor,
+			Observer:  opts.Observer,
+		})
+		return &engine.Report{Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
+	})
+}

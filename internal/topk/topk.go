@@ -12,20 +12,22 @@ package topk
 
 import (
 	"container/heap"
+	"context"
 	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/charm"
 	"repro/internal/dataset"
+	"repro/internal/engine"
 	"repro/internal/itemset"
 )
 
 // Options configures a mining run.
 type Options struct {
-	K         int         // number of patterns to report (> 0)
-	MinLength int         // only patterns with at least this many items qualify
-	FloorMin  int         // optional support floor; the threshold never goes below it (≥ 1)
-	Canceled  func() bool // optional cooperative cancellation
+	K         int             // number of patterns to report (> 0)
+	MinLength int             // only patterns with at least this many items qualify
+	FloorMin  int             // optional support floor; the threshold never goes below it (≥ 1)
+	Observer  engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
 
 // Result is the outcome of a mining run.
@@ -38,11 +40,13 @@ type Result struct {
 
 // Mine returns the top-k closed patterns of d with at least minLength items.
 func Mine(d *dataset.Dataset, k, minLength int) *Result {
-	return MineOpts(d, Options{K: k, MinLength: minLength})
+	return MineOpts(context.Background(), d, Options{K: k, MinLength: minLength})
 }
 
-// MineOpts runs TFP under the given options.
-func MineOpts(d *dataset.Dataset, opts Options) *Result {
+// MineOpts runs TFP under the given options. Cancellation is polled on ctx
+// at every search node; a canceled run returns the best patterns found so
+// far with Stopped=true.
+func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	if opts.K < 1 {
 		opts.K = 1
 	}
@@ -53,7 +57,7 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 	if d.Size() < opts.FloorMin {
 		return res
 	}
-	m := &miner{d: d, opts: opts, res: res, minCount: opts.FloorMin}
+	m := &miner{ctx: ctx, d: d, opts: opts, res: res, minCount: opts.FloorMin}
 
 	all := bitset.New(d.Size())
 	all.SetAll()
@@ -77,6 +81,7 @@ func MineOpts(d *dataset.Dataset, opts Options) *Result {
 }
 
 type miner struct {
+	ctx      context.Context
 	d        *dataset.Dataset
 	opts     Options
 	res      *Result
@@ -86,7 +91,13 @@ type miner struct {
 }
 
 func (m *miner) canceled() bool {
-	if m.opts.Canceled != nil && m.opts.Canceled() {
+	if m.opts.Observer != nil && m.visited%engine.ProgressStride == 0 && m.visited > 0 {
+		m.opts.Observer(engine.Event{
+			Algorithm: Name, Phase: engine.PhaseIteration,
+			Iteration: m.visited, PoolSize: len(m.heap),
+		})
+	}
+	if m.ctx.Err() != nil {
 		m.res.Stopped = true
 		return true
 	}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/charm"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/minertest"
 	"repro/internal/rng"
 )
 
@@ -107,11 +108,7 @@ func TestDegenerate(t *testing.T) {
 
 func TestCancellation(t *testing.T) {
 	d := datagen.Diag(18)
-	calls := 0
-	res := MineOpts(d, Options{K: 1000, MinLength: 1, Canceled: func() bool {
-		calls++
-		return calls > 5
-	}})
+	res := MineOpts(minertest.CancelAfter(5), d, Options{K: 1000, MinLength: 1})
 	if !res.Stopped {
 		t.Fatal("cancellation not honored")
 	}

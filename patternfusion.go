@@ -1,6 +1,7 @@
 package patternfusion
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/apriori"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/eclat"
+	"repro/internal/engine"
 	"repro/internal/fpgrowth"
 	"repro/internal/itemset"
 	"repro/internal/maximal"
@@ -68,12 +70,59 @@ func DefaultConfig(k int, sigma float64) Config { return core.DefaultConfig(k, s
 // Mine runs Pattern-Fusion on d: phase 1 mines the complete set of small
 // frequent patterns (the initial pool), phase 2 iteratively fuses the balls
 // around K random seeds until at most K patterns remain. The result
-// approximates the colossal frequent patterns of d.
-func Mine(d *Dataset, cfg Config) (*Result, error) { return core.Mine(d, cfg) }
+// approximates the colossal frequent patterns of d. Cancellation and
+// deadlines are context-first: a canceled run returns promptly with a
+// partial Result whose Stopped field is true.
+func Mine(ctx context.Context, d *Dataset, cfg Config) (*Result, error) {
+	return core.Mine(ctx, d, cfg)
+}
 
 // MineFromPool runs Pattern-Fusion phase 2 from a caller-supplied pool.
-func MineFromPool(d *Dataset, pool []*Pattern, cfg Config) (*Result, error) {
-	return core.MineFromPool(d, pool, cfg)
+func MineFromPool(ctx context.Context, d *Dataset, pool []*Pattern, cfg Config) (*Result, error) {
+	return core.MineFromPool(ctx, d, pool, cfg)
+}
+
+// ---------------------------------------------------------------------------
+// The unified mining engine: every algorithm in the repository behind one
+// context-first, observable interface, addressable by name.
+
+// Engine is the uniform algorithm interface: Name plus
+// Mine(ctx, dataset, options). All eight miners implement it and register
+// themselves; see Algorithms for the names.
+type Engine = engine.Algorithm
+
+// Options is the shared parameter set of the unified engine; zero values
+// select per-algorithm defaults.
+type Options = engine.Options
+
+// Report is the uniform outcome of an engine run: the mined patterns
+// (largest first) plus iteration/visit counters and the Stopped flag. It
+// is a pure function of (algorithm, dataset, Options).
+type Report = engine.Report
+
+// Event is a structured progress observation delivered to
+// Options.Observer.
+type Event = engine.Event
+
+// Observer receives progress events during an engine run.
+type Observer = engine.Observer
+
+// Algorithms returns the names of all registered algorithms: "apriori",
+// "closed", "closedrows", "eclat", "fpgrowth", "fusion", "maximal",
+// "topk".
+func Algorithms() []string { return engine.Names() }
+
+// GetAlgorithm returns the registered algorithm with the given name.
+func GetAlgorithm(name string) (Engine, error) { return engine.Get(name) }
+
+// MineWith runs the named registered algorithm on d under opts: the
+// library-level equivalent of `pfmine -algo name` and of a pfserve job.
+func MineWith(ctx context.Context, name string, d *Dataset, opts Options) (*Report, error) {
+	a, err := engine.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return a.Mine(ctx, d, opts)
 }
 
 // Radius returns the ball radius r(τ) = 1 − 1/(2/τ − 1) of Theorem 2.

@@ -1,6 +1,7 @@
 package patternfusion_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		t.Fatalf("db shape wrong: %v", db.ComputeStats())
 	}
 	cfg := patternfusion.DefaultConfig(2, 0.4)
-	res, err := patternfusion.Mine(db, cfg)
+	res, err := patternfusion.Mine(context.Background(), db, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +138,7 @@ func TestMineFromPoolThroughPublicAPI(t *testing.T) {
 	}
 	cfg := patternfusion.DefaultConfig(5, 0)
 	cfg.MinCount = 5
-	res, err := patternfusion.MineFromPool(db, pool, cfg)
+	res, err := patternfusion.MineFromPool(context.Background(), db, pool, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
