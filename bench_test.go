@@ -382,6 +382,71 @@ func BenchmarkMineMicroarray(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Registry-wide parallel mining: every miner honors Options.Parallelism
+// through the engine's work-stealing scheduler, with bit-identical reports
+// for any worker count. Each benchmark runs the identical deterministic
+// job at p=1 and p=8, so the ns/op ratio of the sub-benchmarks is the
+// miner's multi-core scaling on this machine (≈1 on a single-core runner;
+// the outputs are guaranteed equal either way, so the comparison is pure
+// scheduling).
+
+func benchEngineParallelism(b *testing.B, algo string, d *dataset.Dataset, opts patternfusion.Options) {
+	for _, par := range []int{1, 8} {
+		b.Run("p="+itoa(par), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				o := opts
+				o.Parallelism = par
+				if _, err := patternfusion.MineWith(context.Background(), algo, d, o); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkEngineClosedReplace(b *testing.B) {
+	d, _, _ := replaceFixture(b)
+	b.ResetTimer()
+	benchEngineParallelism(b, "closed", d, patternfusion.Options{MinSupport: 0.03})
+}
+
+func BenchmarkEngineEclatReplace(b *testing.B) {
+	d, _, _ := replaceFixture(b)
+	b.ResetTimer()
+	benchEngineParallelism(b, "eclat", d, patternfusion.Options{MinSupport: 0.03, MaxSize: 3})
+}
+
+func BenchmarkEngineAprioriReplace(b *testing.B) {
+	d, _, _ := replaceFixture(b)
+	b.ResetTimer()
+	benchEngineParallelism(b, "apriori", d, patternfusion.Options{MinSupport: 0.03, MaxSize: 3})
+}
+
+func BenchmarkEngineFPGrowthReplace(b *testing.B) {
+	d, _, _ := replaceFixture(b)
+	b.ResetTimer()
+	benchEngineParallelism(b, "fpgrowth", d, patternfusion.Options{MinSupport: 0.03, MaxSize: 3})
+}
+
+func BenchmarkEngineMaximalMicroarray(b *testing.B) {
+	d, _ := microFixture(b)
+	b.ResetTimer()
+	benchEngineParallelism(b, "maximal", d, patternfusion.Options{MinCount: 30})
+}
+
+func BenchmarkEngineClosedRowsMicroarray(b *testing.B) {
+	d, _ := microFixture(b)
+	b.ResetTimer()
+	benchEngineParallelism(b, "closedrows", d, patternfusion.Options{MinCount: 30, MinSize: 70})
+}
+
+func BenchmarkEngineTopKMicroarray(b *testing.B) {
+	d, _ := microFixture(b)
+	b.ResetTimer()
+	benchEngineParallelism(b, "topk", d, patternfusion.Options{MinCount: 28, K: 5000, MinSize: 5})
+}
+
+// ---------------------------------------------------------------------------
 // Substrate micro-benchmarks.
 
 func BenchmarkBitsetAndCount(b *testing.B) {

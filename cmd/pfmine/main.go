@@ -15,7 +15,10 @@
 // Output: one pattern per line, "item item … # support=N size=M", largest
 // patterns first. Use -top to truncate the listing, -budget for a
 // deadline (partial results are reported), and -progress to stream
-// structured progress events to stderr.
+// structured progress events to stderr. -parallelism sets the worker
+// count for every algorithm; results are bit-identical for any value.
+// Flags that the selected algorithm ignores are reported as warnings on
+// stderr (only explicitly passed flags count — defaults never warn).
 package main
 
 import (
@@ -50,7 +53,7 @@ func main() {
 		minlen   = flag.Int("minlen", 1, "topk: minimum pattern length; closed/closedrows: minimum size")
 		maxsize  = flag.Int("maxsize", 0, "apriori/eclat/fpgrowth: max pattern size (0 = unbounded)")
 		seed     = flag.Uint64("seed", 1, "fusion: random seed")
-		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "fusion: worker goroutines per iteration (results are identical for any value)")
+		par      = flag.Int("parallelism", runtime.GOMAXPROCS(0), "worker goroutines, any algorithm (results are identical for any value)")
 		budget   = flag.Duration("budget", 0, "optional time budget (0 = none)")
 		top      = flag.Int("top", 0, "print only the first N patterns (0 = all)")
 		progress = flag.Bool("progress", false, "stream progress events to stderr")
@@ -82,16 +85,38 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *budget)
 		defer cancel()
 	}
-	opts := engine.Options{
-		MinCount:        *mincount,
-		MinSupport:      *minsup,
-		K:               *k,
-		Tau:             *tau,
-		InitPoolMaxSize: *initSize,
-		MinSize:         *minlen,
-		MaxSize:         *maxsize,
-		Seed:            *seed,
-		Parallelism:     *par,
+	// Only flags the user actually set reach the engine; everything else
+	// stays zero and picks the per-algorithm default. That keeps the
+	// ignored-option warnings meaningful: `-algo eclat -k 50` warns that K
+	// is ignored, while a plain `-algo eclat` does not warn about the
+	// unrelated flags' defaults. (Each flag default equals the engine's
+	// zero-value default, so set-to-default and unset behave identically.)
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	opts := engine.Options{Parallelism: *par}
+	if explicit["mincount"] {
+		opts.MinCount = *mincount
+	}
+	if explicit["minsup"] {
+		opts.MinSupport = *minsup
+	}
+	if explicit["k"] {
+		opts.K = *k
+	}
+	if explicit["tau"] {
+		opts.Tau = *tau
+	}
+	if explicit["init"] {
+		opts.InitPoolMaxSize = *initSize
+	}
+	if explicit["minlen"] {
+		opts.MinSize = *minlen
+	}
+	if explicit["maxsize"] {
+		opts.MaxSize = *maxsize
+	}
+	if explicit["seed"] {
+		opts.Seed = *seed
 	}
 	if *progress {
 		opts.Observer = func(e engine.Event) {
@@ -106,6 +131,9 @@ func main() {
 		fail(err)
 	}
 	elapsed := time.Since(t0)
+	for _, w := range rep.Warnings {
+		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
+	}
 	if rep.InitPoolSize > 0 {
 		fmt.Fprintf(os.Stderr, "initial pool: %d patterns; %d iterations\n",
 			rep.InitPoolSize, rep.Iterations)

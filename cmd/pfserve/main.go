@@ -44,6 +44,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 5*time.Minute, "default and maximum per-job run time")
 		maxCells = flag.Int("max-cells", 64<<20, "max dataset cells (|D|·|I|) per job; 0 = server default, negative = unlimited")
 		dataDir  = flag.String("data-dir", "", "directory for {\"path\": ...} dataset specs (empty disables them)")
+		maxPar   = flag.Int("max-parallelism", 0, "cap on each job's mining parallelism; 0 = GOMAXPROCS/workers, negative = uncapped")
 	)
 	flag.Parse()
 
@@ -53,6 +54,7 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxCells:       *maxCells,
 		DataDir:        *dataDir,
+		MaxParallelism: *maxPar,
 	})
 	srv := &http.Server{Addr: *addr, Handler: server.Handler(mgr)}
 

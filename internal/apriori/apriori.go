@@ -14,6 +14,15 @@
 // generation is allocation-lean: the prune index is keyed by 128-bit
 // itemset fingerprints, the subset-check buffer is reused across
 // candidates, and emitted patterns carry their support count memoized.
+//
+// Each level's candidate generation runs on Options.Parallelism workers:
+// the sorted k-level is cut into contiguous candidate-range chunks, one
+// task unit each on the shared engine.Tasks work-stealing scheduler
+// (chunks read the level and the fingerprint prune index read-only), and
+// per-chunk survivor slices are concatenated in chunk order — exactly the
+// sequential generation order, so the result is bit-identical for every
+// worker count. Cancellation keeps its level cadence: a run canceled
+// mid-level reports the completed levels only.
 package apriori
 
 import (
@@ -26,9 +35,10 @@ import (
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int             // absolute minimum support count (≥ 1)
-	MaxSize  int             // stop after this level; 0 means unbounded
-	Observer engine.Observer // optional progress events, one per level
+	MinCount    int             // absolute minimum support count (≥ 1)
+	MaxSize     int             // stop after this level; 0 means unbounded
+	Parallelism int             // worker goroutines; 0 = all CPUs; results identical for any value
+	Observer    engine.Observer // optional progress events, one per level
 }
 
 // Result is the outcome of a mining run.
@@ -80,7 +90,14 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 			res.Stopped = true
 			break
 		}
-		level = nextLevel(d, level, opts.MinCount)
+		var stopped bool
+		level, stopped = nextLevel(ctx, d, level, opts.MinCount, opts.Parallelism)
+		if stopped {
+			// Canceled mid-level: keep the complete levels only, so a
+			// partial report never contains a torn level.
+			res.Stopped = true
+			break
+		}
 		k++
 	}
 	return res
@@ -92,40 +109,80 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 // is keyed by itemset fingerprint and the prune-check subset buffer is
 // reused across candidates, so a level's candidate generation allocates
 // only for the surviving patterns.
-func nextLevel(d *dataset.Dataset, level []*dataset.Pattern, minCount int) []*dataset.Pattern {
+//
+// The level is cut into contiguous candidate-range chunks dealt to the
+// engine.Tasks scheduler (the level slice and the fingerprint index are
+// read-only); per-chunk survivors concatenate in chunk order, which is the
+// sequential generation order. A canceled level returns stopped=true and
+// its partial output is discarded by the caller.
+func nextLevel(ctx context.Context, d *dataset.Dataset, level []*dataset.Pattern, minCount, parallelism int) (next []*dataset.Pattern, stopped bool) {
 	// Membership index for the subset-pruning step.
 	freq := make(map[itemset.Fingerprint]bool, len(level))
 	for _, p := range level {
 		freq[p.Items.Fingerprint()] = true
 	}
 
-	next := make([]*dataset.Pattern, 0, len(level))
-	var buf itemset.Itemset
-	for i := 0; i < len(level); i++ {
-		a := level[i]
-		k := len(a.Items)
-		for j := i + 1; j < len(level); j++ {
-			b := level[j]
-			// Join step: a and b must share the first k−1 items; because the
-			// level is lexicographically sorted, once prefixes diverge no
-			// later j can match.
-			if !samePrefix(a.Items, b.Items) {
-				break
-			}
-			cand := a.Items.Add(b.Items[k-1])
-			// Prune step: every k-subset of cand must be frequent. The two
-			// subsets obtained by removing the last two items are a and b
-			// themselves, so check only the others.
-			if !allSubsetsFrequent(cand, freq, &buf) {
-				continue
-			}
-			tids := a.TIDs.And(d.ItemTIDs(b.Items[k-1]))
-			if c := tids.Count(); c >= minCount {
-				next = append(next, dataset.NewPatternCounted(cand, tids, c))
+	workers := engine.Workers(parallelism)
+	chunks := chunkRanges(len(level), workers)
+	perChunk := make([][]*dataset.Pattern, len(chunks))
+	stopped = engine.Tasks(ctx, workers, len(chunks), func(_, task int) {
+		lo, hi := chunks[task][0], chunks[task][1]
+		out := make([]*dataset.Pattern, 0, hi-lo)
+		var buf itemset.Itemset
+		for i := lo; i < hi; i++ {
+			a := level[i]
+			k := len(a.Items)
+			for j := i + 1; j < len(level); j++ {
+				b := level[j]
+				// Join step: a and b must share the first k−1 items; because
+				// the level is lexicographically sorted, once prefixes
+				// diverge no later j can match.
+				if !samePrefix(a.Items, b.Items) {
+					break
+				}
+				cand := a.Items.Add(b.Items[k-1])
+				// Prune step: every k-subset of cand must be frequent. The
+				// two subsets obtained by removing the last two items are a
+				// and b themselves, so check only the others.
+				if !allSubsetsFrequent(cand, freq, &buf) {
+					continue
+				}
+				tids := a.TIDs.And(d.ItemTIDs(b.Items[k-1]))
+				if c := tids.Count(); c >= minCount {
+					out = append(out, dataset.NewPatternCounted(cand, tids, c))
+				}
 			}
 		}
+		perChunk[task] = out
+	})
+	if stopped {
+		return nil, true
 	}
-	return next
+	next = make([]*dataset.Pattern, 0, len(level))
+	for _, out := range perChunk {
+		next = append(next, out...)
+	}
+	return next, false
+}
+
+// chunkRanges cuts [0, n) into up to 4·workers contiguous [lo, hi) ranges
+// of near-equal size — enough surplus for the scheduler to rebalance the
+// skewed join fan-outs of a sorted level. The chunk count never depends on
+// the outputs, and concatenating chunk results in order is independent of
+// the cut points, so chunking cannot influence the mined patterns.
+func chunkRanges(n, workers int) [][2]int {
+	if n == 0 {
+		return nil
+	}
+	chunks := 4 * workers
+	if chunks > n {
+		chunks = n
+	}
+	out := make([][2]int, chunks)
+	for c := 0; c < chunks; c++ {
+		out[c] = [2]int{c * n / chunks, (c + 1) * n / chunks}
+	}
+	return out
 }
 
 func samePrefix(a, b itemset.Itemset) bool {

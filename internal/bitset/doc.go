@@ -1,0 +1,20 @@
+// Package bitset implements dense fixed-capacity bitsets.
+//
+// Bitsets are the workhorse of the vertical miners and of Pattern-Fusion
+// itself: the support set D_α of a pattern α (Definition 1 of the paper) is
+// represented as a bitset over transaction IDs, so that support counting,
+// the pattern distance Dist(α,β) = 1 − |Dα∩Dβ|/|Dα∪Dβ| (Definition 6) and
+// support-set intersection during fusion are all word-parallel operations.
+//
+// Besides the allocating set algebra (And, Or, AndNot) the package offers
+// allocation-free counting forms (AndCount, OrCount, Jaccard) and the
+// early-exit decision form AndCountAtLeast, which answers
+// |b∩o| ≥ threshold without necessarily finishing the word loop — the
+// primitive behind the fusion engine's count-algebra ball pruning.
+//
+// A Bitset is not synchronized: concurrent readers are safe, but any
+// mutation needs external coordination. The parallel miners exploit the
+// read-only case — workers share item TID sets and ancestor support sets
+// freely, and every intersection they compute lands in a fresh
+// worker-owned bitset.
+package bitset

@@ -19,13 +19,15 @@ func (algorithm) Name() string { return Name }
 
 // Mine implements engine.Algorithm: the closed frequent sets of at least
 // Options.MinSize items at the resolved support threshold, mined by row
-// enumeration — the method of choice for microarray-shaped data.
+// enumeration on Options.Parallelism workers — the method of choice for
+// microarray-shaped data.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
-	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+	return engine.Run(Name, opts, engine.Uses{MinSize: true}, func() (*engine.Report, error) {
 		res := MineOpts(ctx, d, Options{
-			MinCount: opts.ResolveMinCount(d),
-			MinSize:  opts.MinSize,
-			Observer: opts.Observer,
+			MinCount:    opts.ResolveMinCount(d),
+			MinSize:     opts.MinSize,
+			Parallelism: opts.Parallelism,
+			Observer:    opts.Observer,
 		})
 		return &engine.Report{Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
 	})

@@ -20,6 +20,16 @@
 // A minimum-size constraint on |X| is pushed into the search (intersections
 // only shrink as rows are added), which is what makes "all closed patterns
 // of size ≥ 70" on the microarray dataset computable for Figure 9.
+//
+// Mining runs on Options.Parallelism workers: the dispatcher expands the
+// row-enumeration tree to a fixed depth (spawnDepth) and every frontier
+// subtree — a pending row-set extension with its snapshot of the
+// intersection and row-membership state — is one task unit on the shared
+// engine.Tasks work-stealing scheduler. Depth two yields hundreds of tasks
+// even on a 38-row microarray, which is what lets stealing balance the
+// heavily skewed first-row subtrees. Patterns emitted above the frontier
+// merge before the per-task outputs in task order; every stage is
+// deterministic, so the result is bit-identical for every worker count.
 package carpenter
 
 import (
@@ -33,10 +43,18 @@ import (
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int             // absolute minimum support count (≥ 1)
-	MinSize  int             // only report closed itemsets with at least this many items
-	Observer engine.Observer // optional progress events, every engine.ProgressStride nodes
+	MinCount    int             // absolute minimum support count (≥ 1)
+	MinSize     int             // only report closed itemsets with at least this many items
+	Parallelism int             // worker goroutines; 0 = all CPUs; results identical for any value
+	Observer    engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
+
+// spawnDepth is the row-enumeration depth at which the dispatcher stops
+// expanding and hands subtrees to the scheduler. It is a constant — never
+// derived from the worker count — so the task decomposition, and with it
+// the emission order and visit counts, is identical for every
+// Parallelism value.
+const spawnDepth = 2
 
 // Result is the outcome of a mining run.
 type Result struct {
@@ -63,43 +81,82 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	if n < opts.MinCount {
 		return res
 	}
-	m := &miner{ctx: ctx, d: d, opts: opts, res: res, n: n}
-	// Row item-bitsets.
-	m.rows = make([]*bitset.Bitset, n)
+	meter := engine.NewMeter(ctx, Name, opts.Observer)
+	root := &miner{meter: meter, d: d, opts: opts, res: res, n: n}
+	// Row item-bitsets, shared read-only by every task.
+	root.rows = make([]*bitset.Bitset, n)
 	for i := 0; i < n; i++ {
 		b := bitset.New(d.NumItems())
 		for _, item := range d.Transaction(i) {
 			b.Set(item)
 		}
-		m.rows[i] = b
+		root.rows[i] = b
 	}
 	full := bitset.New(d.NumItems())
 	full.SetAll()
-	m.inSet = make([]bool, n)
-	m.enumerate(0, full, 0)
+	root.inSet = make([]bool, n)
+
+	// The dispatcher expands the tree down to spawnDepth, collecting every
+	// frontier subtree as a task (each with its own intersection bitset
+	// and row-membership snapshot), then the scheduler runs the subtrees.
+	var tasks []frontierTask
+	root.spawn = func(rsize int, x *bitset.Bitset, next int) {
+		tasks = append(tasks, frontierTask{
+			rsize: rsize, x: x, next: next,
+			inSet: append([]bool(nil), root.inSet...),
+		})
+	}
+	root.enumerate(0, full, 0, 0)
+	root.spawn = nil
+
+	perTask := make([]*Result, len(tasks))
+	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), len(tasks), func(_, task int) {
+		ft := tasks[task]
+		sub := &miner{meter: meter, d: d, opts: opts, res: &Result{}, n: n, rows: root.rows, inSet: ft.inSet}
+		sub.enumerate(ft.rsize, ft.x, ft.next, spawnDepth)
+		perTask[task] = sub.res
+	})
+	for _, sub := range perTask {
+		if sub == nil {
+			stopped = true // abandoned after cancellation
+			continue
+		}
+		res.Patterns = append(res.Patterns, sub.Patterns...)
+		res.Visited += sub.Visited
+		stopped = stopped || sub.Stopped
+	}
+	res.Stopped = res.Stopped || stopped
 	return res
 }
 
+// frontierTask is one pending enumerate call at spawnDepth: the arguments
+// of the suspended recursion plus a private copy of the row-membership
+// state on its path.
+type frontierTask struct {
+	rsize int
+	x     *bitset.Bitset
+	next  int
+	inSet []bool
+}
+
 type miner struct {
-	ctx   context.Context
+	meter *engine.Meter
 	d     *dataset.Dataset
 	opts  Options
 	res   *Result
 	n     int
 	rows  []*bitset.Bitset
 	inSet []bool // inSet[r] = row r is in the current row set
+	// spawn, when non-nil, intercepts recursion at spawnDepth: the
+	// dispatcher collects the pending call as a task instead of descending.
+	spawn func(rsize int, x *bitset.Bitset, next int)
 }
 
-func (m *miner) canceled() bool {
-	if m.opts.Observer != nil && m.res.Visited%engine.ProgressStride == 0 && m.res.Visited > 0 {
-		m.opts.Observer(engine.Event{
-			Algorithm: Name, Phase: engine.PhaseIteration,
-			Iteration: m.res.Visited, PoolSize: len(m.res.Patterns),
-		})
-	}
-	if m.ctx.Err() != nil {
+// visit records one search node with the meter and latches cancellation
+// into the result.
+func (m *miner) visit() bool {
+	if m.meter.Visit(0) {
 		m.res.Stopped = true
-		return true
 	}
 	return m.res.Stopped
 }
@@ -107,9 +164,14 @@ func (m *miner) canceled() bool {
 // enumerate explores row sets extending the current set (membership in
 // m.inSet, size rsize) whose intersection is x. Rows in [next, n) are still
 // available; rows below next are either members or permanently skipped on
-// this branch.
-func (m *miner) enumerate(rsize int, x *bitset.Bitset, next int) {
-	if m.canceled() {
+// this branch. depth counts recursion levels below the task's entry point
+// for the dispatcher's frontier cut.
+func (m *miner) enumerate(rsize int, x *bitset.Bitset, next, depth int) {
+	if m.spawn != nil && depth == spawnDepth {
+		m.spawn(rsize, x, next)
+		return
+	}
+	if m.visit() {
 		return
 	}
 	m.res.Visited++
@@ -162,7 +224,7 @@ func (m *miner) enumerate(rsize int, x *bitset.Bitset, next int) {
 			continue
 		}
 		m.inSet[r] = true
-		m.enumerate(rsize+1, nx, r+1)
+		m.enumerate(rsize+1, nx, r+1, depth+1)
 		m.inSet[r] = false
 		if m.res.Stopped {
 			return
@@ -181,5 +243,6 @@ func (m *miner) emit(x *bitset.Bitset, support int) {
 	if tids.Count() != support {
 		panic("carpenter: internal row-set bookkeeping error")
 	}
+	m.meter.Emitted(1)
 	m.res.Patterns = append(m.res.Patterns, dataset.NewPatternCounted(items, tids, support))
 }

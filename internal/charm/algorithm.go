@@ -19,13 +19,14 @@ func (algorithm) Name() string { return Name }
 
 // Mine implements engine.Algorithm: the complete closed frequent set
 // (optionally only itemsets of at least Options.MinSize items) at the
-// resolved support threshold.
+// resolved support threshold, mined on Options.Parallelism workers.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
-	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+	return engine.Run(Name, opts, engine.Uses{MinSize: true}, func() (*engine.Report, error) {
 		res := MineOpts(ctx, d, Options{
-			MinCount: opts.ResolveMinCount(d),
-			MinSize:  opts.MinSize,
-			Observer: opts.Observer,
+			MinCount:    opts.ResolveMinCount(d),
+			MinSize:     opts.MinSize,
+			Parallelism: opts.Parallelism,
+			Observer:    opts.Observer,
 		})
 		return &engine.Report{Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
 	})

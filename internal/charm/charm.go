@@ -13,6 +13,13 @@
 // In the reproduction this miner builds the "complete set Q" that the
 // quality evaluation model (Section 5) compares Pattern-Fusion's result
 // against on the Replace dataset (Figure 8).
+//
+// Mining runs on Options.Parallelism workers: ppc-ext carries no state
+// across sibling branches, so each single-item extension of the root
+// closure is an independent subtree and one task unit on the shared
+// engine.Tasks work-stealing scheduler. Per-task patterns and visit counts
+// merge in task order — the result is bit-identical for every worker
+// count.
 package charm
 
 import (
@@ -26,9 +33,10 @@ import (
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int             // absolute minimum support count (≥ 1)
-	MinSize  int             // only report closed itemsets with at least this many items
-	Observer engine.Observer // optional progress events, every engine.ProgressStride nodes
+	MinCount    int             // absolute minimum support count (≥ 1)
+	MinSize     int             // only report closed itemsets with at least this many items
+	Parallelism int             // worker goroutines; 0 = all CPUs; results identical for any value
+	Observer    engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
 
 // Result is the outcome of a mining run.
@@ -55,33 +63,50 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	if d.Size() < opts.MinCount {
 		return res
 	}
-	m := &miner{ctx: ctx, d: d, opts: opts, res: res}
+	meter := engine.NewMeter(ctx, Name, opts.Observer)
 
 	all := bitset.New(d.Size())
 	all.SetAll()
 	c0 := ClosureOf(d, all)
-	m.emit(c0, all, d.Size())
-	m.extend(c0, all, -1)
+	root := &miner{meter: meter, d: d, opts: opts, res: res}
+	root.res.Visited++ // the root extend node, processed here on the dispatcher
+	root.emit(c0, all, d.Size())
+
+	// One task per candidate extension item of the root closure; each is
+	// the body of extend's loop for that item and explores its ppc-ext
+	// subtree independently (all and the item TID sets are read-only).
+	perTask := make([]*Result, d.NumItems())
+	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), d.NumItems(), func(_, task int) {
+		sub := &Result{}
+		m := &miner{meter: meter, d: d, opts: opts, res: sub}
+		m.extendFrom(c0, all, task)
+		perTask[task] = sub
+	})
+	for _, sub := range perTask {
+		if sub == nil {
+			stopped = true // abandoned after cancellation
+			continue
+		}
+		res.Patterns = append(res.Patterns, sub.Patterns...)
+		res.Visited += sub.Visited
+		stopped = stopped || sub.Stopped
+	}
+	res.Stopped = stopped
 	return res
 }
 
 type miner struct {
-	ctx  context.Context
-	d    *dataset.Dataset
-	opts Options
-	res  *Result
+	meter *engine.Meter
+	d     *dataset.Dataset
+	opts  Options
+	res   *Result
 }
 
-func (m *miner) canceled() bool {
-	if m.opts.Observer != nil && m.res.Visited%engine.ProgressStride == 0 && m.res.Visited > 0 {
-		m.opts.Observer(engine.Event{
-			Algorithm: Name, Phase: engine.PhaseIteration,
-			Iteration: m.res.Visited, PoolSize: len(m.res.Patterns),
-		})
-	}
-	if m.ctx.Err() != nil {
+// visit records one search node with the meter and latches cancellation
+// into the result.
+func (m *miner) visit(newPatterns int) bool {
+	if m.meter.Visit(newPatterns) {
 		m.res.Stopped = true
-		return true
 	}
 	return m.res.Stopped
 }
@@ -95,35 +120,45 @@ func (m *miner) emit(c itemset.Itemset, tids *bitset.Bitset, sup int) {
 	if len(c) == 0 || len(c) < m.opts.MinSize {
 		return
 	}
+	m.meter.Emitted(1)
 	m.res.Patterns = append(m.res.Patterns, dataset.NewPatternCounted(c, tids, sup))
 }
 
 // extend explores all prefix-preserving closure extensions of the closed
 // set c (with support set tids) using items greater than core.
 func (m *miner) extend(c itemset.Itemset, tids *bitset.Bitset, core int) {
-	if m.canceled() {
+	if m.visit(0) {
 		return
 	}
 	m.res.Visited++
 	for i := core + 1; i < m.d.NumItems(); i++ {
-		if c.Contains(i) {
-			continue
-		}
-		sub := tids.And(m.d.ItemTIDs(i))
-		sup := sub.Count()
-		if sup < m.opts.MinCount {
-			continue
-		}
-		cc := ClosureOf(m.d, sub)
-		if !prefixPreserved(c, cc, i) {
-			continue
-		}
-		m.emit(cc, sub, sup)
-		m.extend(cc, sub, i)
+		m.extendFrom(c, tids, i)
 		if m.res.Stopped {
 			return
 		}
 	}
+}
+
+// extendFrom tries the single extension item i of the closed set c: if the
+// extension is frequent and its closure passes the ppc-ext canonicity
+// test, the closure is emitted and its subtree explored. It is both the
+// body of extend's loop and the unit of parallel work (the root call
+// decomposes into one extendFrom per item).
+func (m *miner) extendFrom(c itemset.Itemset, tids *bitset.Bitset, i int) {
+	if c.Contains(i) {
+		return
+	}
+	sub := tids.And(m.d.ItemTIDs(i))
+	sup := sub.Count()
+	if sup < m.opts.MinCount {
+		return
+	}
+	cc := ClosureOf(m.d, sub)
+	if !prefixPreserved(c, cc, i) {
+		return
+	}
+	m.emit(cc, sub, sup)
+	m.extend(cc, sub, i)
 }
 
 // prefixPreserved reports whether the closure cc introduces no item below i

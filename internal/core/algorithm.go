@@ -17,7 +17,8 @@ func (algorithm) Name() string { return Name }
 // starting from DefaultConfig, overridden by the engine options (K, Tau,
 // InitPoolMaxSize, Seed, Parallelism and the support threshold).
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
-	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+	uses := engine.Uses{K: true, Tau: true, InitPoolMaxSize: true, Seed: true}
+	return engine.Run(Name, opts, uses, func() (*engine.Report, error) {
 		k := opts.K
 		if k == 0 {
 			k = 100

@@ -25,12 +25,14 @@
 //
 // # Parallel fusion
 //
-// Each iteration fuses its K seed balls on a worker pool of
-// Config.Parallelism goroutines (default: all CPUs). Every seed slot draws
-// only from a private RNG stream derived from (Config.Seed, iteration,
-// slot) via rng.Stream, and per-slot results are merged in slot order, so a
-// run's Result is bit-identical for every Parallelism value — reproducibility
-// depends on Config.Seed alone, never on scheduling or core count.
+// Each iteration deals its K seed balls to the shared engine.Tasks
+// work-stealing scheduler on Config.Parallelism workers (default: all
+// CPUs); phase 1 mines the initial pool on the same worker count through
+// apriori's level chunking. Every seed slot draws only from a private RNG
+// stream derived from (Config.Seed, iteration, slot) via rng.Stream, and
+// per-slot results are merged in slot order, so a run's Result is
+// bit-identical for every Parallelism value — reproducibility depends on
+// Config.Seed alone, never on scheduling or core count.
 //
 // # Hot path
 //
@@ -53,7 +55,6 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
 
 	"repro/internal/apriori"
 	"repro/internal/bitset"
@@ -116,11 +117,12 @@ type Config struct {
 	// effect). Zero disables it.
 	Elitism int
 	// Parallelism is the number of worker goroutines fusing seed balls
-	// within one iteration. The K seeds of an iteration are independent, so
-	// they are dealt to a worker pool; each seed slot draws from its own
-	// RNG stream derived from (Seed, iteration, slot) — see rng.Stream —
-	// and per-seed outputs are merged back in slot order, so Result is
-	// bit-identical for every Parallelism value, including 1. Zero means
+	// within one iteration (and mining the phase-1 pool). The K seeds of
+	// an iteration are independent, so they are dealt to the shared
+	// engine.Tasks scheduler; each seed slot draws from its own RNG stream
+	// derived from (Seed, iteration, slot) — see rng.Stream — and per-seed
+	// outputs are merged back in slot order, so Result is bit-identical
+	// for every Parallelism value, including 1. Zero means
 	// runtime.GOMAXPROCS(0); negative is invalid.
 	Parallelism int
 	// Seed seeds the deterministic RNG.
@@ -264,8 +266,9 @@ func Mine(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) 
 		minCount = d.MinCount(cfg.MinSupport)
 	}
 	ares := apriori.MineOpts(ctx, d, apriori.Options{
-		MinCount: minCount,
-		MaxSize:  cfg.InitPoolMaxSize,
+		MinCount:    minCount,
+		MaxSize:     cfg.InitPoolMaxSize,
+		Parallelism: cfg.Parallelism,
 	})
 	cfg.Observer.Emit(engine.Event{
 		Algorithm: Name, Phase: engine.PhaseInitPool, PoolSize: len(ares.Patterns),
@@ -282,9 +285,9 @@ func Mine(ctx context.Context, d *dataset.Dataset, cfg Config) (*Result, error) 
 // MineFromPool runs phase 2 (iterative fusion) from a caller-supplied
 // initial pool; the pool patterns must carry support sets computed against
 // d. The pool slice is not modified. Cancellation is polled on ctx once
-// per seed within each fusion iteration, from the dispatching goroutine
-// only; the bit-identical-across-Parallelism guarantee applies to runs
-// that complete without cancellation.
+// per seed within each fusion iteration (by the scheduler, before each
+// slot is claimed); the bit-identical-across-Parallelism guarantee
+// applies to runs that complete without cancellation.
 func MineFromPool(ctx context.Context, d *dataset.Dataset, pool []*dataset.Pattern, cfg Config) (*Result, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -342,8 +345,8 @@ func MineFromPool(ctx context.Context, d *dataset.Dataset, pool []*dataset.Patte
 // super-patterns, and return the union of all super-patterns as the next
 // pool.
 //
-// The K seeds are independent, so they are dealt to cfg.workers() pool
-// goroutines. Determinism regardless of worker count comes from two rules:
+// The K seeds are independent, so they are dealt to cfg.workers()
+// scheduler workers. Determinism regardless of worker count comes from two rules:
 // every seed slot s draws only from its private stream
 // rng.Stream(cfg.Seed, iteration, s) (the seed indices themselves come from
 // the iteration-level stream rng.Stream(cfg.Seed, iteration)), and per-slot
@@ -351,9 +354,9 @@ func MineFromPool(ctx context.Context, d *dataset.Dataset, pool []*dataset.Patte
 // change which goroutine fuses which seed, but never what any seed
 // produces or where its output lands.
 //
-// ctx is polled once per seed from the dispatching goroutine; the
-// unbuffered work channel paces dispatch to the workers' drain rate, so
-// polls are spread across the iteration and cancellation aborts the step
+// The seed slots are dealt to the shared engine.Tasks work-stealing
+// scheduler — the same scheduler every registry miner parallelizes on —
+// which polls ctx before each slot, so cancellation aborts the step
 // without waiting for the remaining seeds. A stopped step reports
 // stopped=true and its partial output is discarded.
 func fusionStep(ctx context.Context, d *dataset.Dataset, pool []*dataset.Pattern, cfg Config, minCount int, radius float64, iteration int) (next []*dataset.Pattern, stopped bool) {
@@ -396,40 +399,17 @@ func fusionStep(ctx context.Context, d *dataset.Dataset, pool []*dataset.Pattern
 		perSeed[slot] = fuse(d, seed, ball, cfg, minCount, r, sc)
 	}
 
-	canceled := func() bool { return ctx.Err() != nil }
-	if workers := min(cfg.workers(), len(seedIdx)); workers <= 1 {
-		sc := newFuseScratch(d)
-		for slot := range seedIdx {
-			if canceled() {
-				return nil, true
-			}
-			fuseSlot(slot, sc)
+	// Per-worker scratch buffers, allocated lazily: a worker that never
+	// claims a slot never pays for a scratch.
+	workers := min(cfg.workers(), len(seedIdx))
+	scratches := make([]*fuseScratch, workers)
+	if engine.Tasks(ctx, workers, len(seedIdx), func(worker, slot int) {
+		if scratches[worker] == nil {
+			scratches[worker] = newFuseScratch(d)
 		}
-	} else {
-		slots := make(chan int)
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				sc := newFuseScratch(d) // per-worker scratch: no sharing, no locks
-				for slot := range slots {
-					fuseSlot(slot, sc)
-				}
-			}()
-		}
-		for slot := range seedIdx {
-			if canceled() {
-				stopped = true
-				break
-			}
-			slots <- slot
-		}
-		close(slots)
-		wg.Wait()
-		if stopped {
-			return nil, true
-		}
+		fuseSlot(slot, scratches[worker])
+	}) {
+		return nil, true
 	}
 
 	for _, ps := range perSeed {

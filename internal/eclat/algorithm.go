@@ -17,13 +17,15 @@ func init() { engine.Register(algorithm{}) }
 func (algorithm) Name() string { return Name }
 
 // Mine implements engine.Algorithm: the complete frequent set (optionally
-// capped at Options.MaxSize items) at the resolved support threshold.
+// capped at Options.MaxSize items) at the resolved support threshold,
+// mined on Options.Parallelism workers.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
-	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+	return engine.Run(Name, opts, engine.Uses{MaxSize: true}, func() (*engine.Report, error) {
 		res := MineOpts(ctx, d, Options{
-			MinCount: opts.ResolveMinCount(d),
-			MaxSize:  opts.MaxSize,
-			Observer: opts.Observer,
+			MinCount:    opts.ResolveMinCount(d),
+			MaxSize:     opts.MaxSize,
+			Parallelism: opts.Parallelism,
+			Observer:    opts.Observer,
 		})
 		return &engine.Report{Patterns: res.Patterns, Stopped: res.Stopped}, nil
 	})

@@ -6,6 +6,12 @@
 // Eclat serves as the third independent complete-mining oracle for the
 // cross-check tests, and its traversal skeleton is what the closed (charm)
 // and maximal miners refine with pruning.
+//
+// Mining runs on Options.Parallelism workers: the members of the
+// first-level equivalence class (the frequent single items) are
+// independent subtree roots, so each is one task unit on the shared
+// engine.Tasks work-stealing scheduler, and per-task outputs are merged in
+// task order — the result is bit-identical for every worker count.
 package eclat
 
 import (
@@ -19,9 +25,10 @@ import (
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int             // absolute minimum support count (≥ 1)
-	MaxSize  int             // only report itemsets up to this size; 0 = unbounded
-	Observer engine.Observer // optional progress events, every engine.ProgressStride nodes
+	MinCount    int             // absolute minimum support count (≥ 1)
+	MaxSize     int             // only report itemsets up to this size; 0 = unbounded
+	Parallelism int             // worker goroutines; 0 = all CPUs; results identical for any value
+	Observer    engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
 
 // Result is the outcome of a mining run.
@@ -44,13 +51,32 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 		opts.MinCount = 1
 	}
 	res := &Result{}
-	m := &miner{ctx: ctx, opts: opts, res: res}
+	meter := engine.NewMeter(ctx, Name, opts.Observer)
 
 	var class []extension
 	for _, item := range d.FrequentItems(opts.MinCount) {
 		class = append(class, extension{item: item, tids: d.ItemTIDs(item)})
 	}
-	m.search(nil, class)
+
+	// One task per first-level class member; the shared class slice is
+	// read-only across workers. Merging the per-task results in task order
+	// reproduces the sequential depth-first emission order exactly.
+	perTask := make([]*Result, len(class))
+	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), len(class), func(_, task int) {
+		sub := &Result{}
+		m := &miner{meter: meter, opts: opts, res: sub}
+		m.searchFrom(nil, class, task)
+		perTask[task] = sub
+	})
+	for _, sub := range perTask {
+		if sub == nil {
+			stopped = true // abandoned after cancellation
+			continue
+		}
+		res.Patterns = append(res.Patterns, sub.Patterns...)
+		stopped = stopped || sub.Stopped
+	}
+	res.Stopped = stopped
 	return res
 }
 
@@ -60,23 +86,16 @@ type extension struct {
 }
 
 type miner struct {
-	ctx   context.Context
+	meter *engine.Meter
 	opts  Options
 	res   *Result
-	polls int
 }
 
-func (m *miner) canceled() bool {
-	m.polls++
-	if m.opts.Observer != nil && m.polls%engine.ProgressStride == 0 {
-		m.opts.Observer(engine.Event{
-			Algorithm: Name, Phase: engine.PhaseIteration,
-			Iteration: m.polls, PoolSize: len(m.res.Patterns),
-		})
-	}
-	if m.ctx.Err() != nil {
+// visit records one search node with the meter and latches cancellation
+// into the result.
+func (m *miner) visit(newPatterns int) bool {
+	if m.meter.Visit(newPatterns) {
 		m.res.Stopped = true
-		return true
 	}
 	return m.res.Stopped
 }
@@ -85,27 +104,37 @@ func (m *miner) canceled() bool {
 // single item. Members are in increasing item order, so each itemset is
 // enumerated exactly once.
 func (m *miner) search(prefix itemset.Itemset, class []extension) {
-	if m.canceled() {
+	for i := range class {
+		m.searchFrom(prefix, class, i)
+		if m.res.Stopped {
+			return
+		}
+	}
+}
+
+// searchFrom processes the single class member class[i]: it emits the
+// extended itemset and recurses into the sub-class formed with the later
+// members. It is both the body of search's loop and the unit of parallel
+// work (the first-level call decomposes into one searchFrom per frequent
+// item).
+func (m *miner) searchFrom(prefix itemset.Itemset, class []extension, i int) {
+	if m.visit(1) {
 		return
 	}
-	for i, ext := range class {
-		items := prefix.Add(ext.item)
-		m.res.Patterns = append(m.res.Patterns, dataset.NewPatternTIDs(items, ext.tids.Clone()))
-		if m.opts.MaxSize > 0 && len(items) >= m.opts.MaxSize {
-			continue
+	ext := class[i]
+	items := prefix.Add(ext.item)
+	m.res.Patterns = append(m.res.Patterns, dataset.NewPatternTIDs(items, ext.tids.Clone()))
+	if m.opts.MaxSize > 0 && len(items) >= m.opts.MaxSize {
+		return
+	}
+	var sub []extension
+	for _, other := range class[i+1:] {
+		tids := ext.tids.And(other.tids)
+		if tids.Count() >= m.opts.MinCount {
+			sub = append(sub, extension{item: other.item, tids: tids})
 		}
-		var sub []extension
-		for _, other := range class[i+1:] {
-			tids := ext.tids.And(other.tids)
-			if tids.Count() >= m.opts.MinCount {
-				sub = append(sub, extension{item: other.item, tids: tids})
-			}
-		}
-		if len(sub) > 0 {
-			m.search(items, sub)
-			if m.res.Stopped {
-				return
-			}
-		}
+	}
+	if len(sub) > 0 {
+		m.search(items, sub)
 	}
 }

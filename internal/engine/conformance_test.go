@@ -16,6 +16,7 @@ import (
 	"repro/internal/engine"
 	_ "repro/internal/engine/all"
 	"repro/internal/minertest"
+	"repro/internal/rng"
 )
 
 // minerPackages is the authoritative list of miner packages in this
@@ -70,6 +71,17 @@ func TestFusionAdapterRejectsInvalidOptions(t *testing.T) {
 	}
 	if _, err := alg.Mine(context.Background(), datagen.Diag(8), engine.Options{MinCount: 4, InitPoolMaxSize: -2}); err == nil {
 		t.Fatal("negative InitPoolMaxSize accepted")
+	}
+}
+
+// TestNegativeParallelismRejected pins the uniform engine contract: a
+// negative worker count is an error for every algorithm, not a silent
+// all-CPUs default on some and an error on others.
+func TestNegativeParallelismRejected(t *testing.T) {
+	for _, alg := range engine.All() {
+		if _, err := alg.Mine(context.Background(), datagen.Diag(6), engine.Options{MinCount: 3, Parallelism: -1}); err == nil {
+			t.Errorf("%s accepted negative Parallelism", alg.Name())
+		}
 	}
 }
 
@@ -142,13 +154,14 @@ func encodeReport(t *testing.T, rep *engine.Report) []byte {
 		Support int   `json:"support"`
 	}
 	out := struct {
-		Algorithm    string `json:"algorithm"`
-		Patterns     []pat  `json:"patterns"`
-		InitPoolSize int    `json:"init_pool_size"`
-		Iterations   int    `json:"iterations"`
-		Visited      int    `json:"visited"`
-		Stopped      bool   `json:"stopped"`
-	}{rep.Algorithm, make([]pat, 0, len(rep.Patterns)), rep.InitPoolSize, rep.Iterations, rep.Visited, rep.Stopped}
+		Algorithm    string   `json:"algorithm"`
+		Patterns     []pat    `json:"patterns"`
+		InitPoolSize int      `json:"init_pool_size"`
+		Iterations   int      `json:"iterations"`
+		Visited      int      `json:"visited"`
+		Stopped      bool     `json:"stopped"`
+		Warnings     []string `json:"warnings"`
+	}{rep.Algorithm, make([]pat, 0, len(rep.Patterns)), rep.InitPoolSize, rep.Iterations, rep.Visited, rep.Stopped, rep.Warnings}
 	for _, p := range rep.Patterns {
 		out.Patterns = append(out.Patterns, pat{Items: append([]int{}, p.Items...), Support: p.Support()})
 	}
@@ -180,6 +193,84 @@ func TestDeterminismConformance(t *testing.T) {
 				t.Fatalf("same seed produced different reports:\n%s\n%s", a, b)
 			}
 		})
+	}
+}
+
+// TestParallelismConformance is the registry-wide version of the fusion
+// engine's founding guarantee, extended to every miner by this
+// repository's work-stealing schedulers: for each registered algorithm,
+// the Report must be byte-identical for Parallelism ∈ {1, 2, 8} — same
+// patterns in the same order, same supports, same iteration and
+// visited-node counts — on both a diagonal and a randomized workload.
+func TestParallelismConformance(t *testing.T) {
+	workloads := []struct {
+		name string
+		d    func() *dataset.Dataset
+	}{
+		{"DiagPlus", func() *dataset.Dataset { return datagen.DiagPlus(12, 6, 11) }},
+		{"Random", func() *dataset.Dataset { return datagen.Random(rng.New(3), 60, 24, 0.4) }},
+	}
+	for _, alg := range engine.All() {
+		for _, w := range workloads {
+			t.Run(alg.Name()+"/"+w.name, func(t *testing.T) {
+				var want []byte
+				for _, par := range []int{1, 2, 8} {
+					opts := conformanceOpts()
+					opts.Parallelism = par
+					rep, err := alg.Mine(context.Background(), w.d(), opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := encodeReport(t, rep)
+					if want == nil {
+						want = got
+						continue
+					}
+					if string(got) != string(want) {
+						t.Fatalf("Parallelism=%d diverged from Parallelism=1:\n%s\n%s", par, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestOptionsWarnings pins the ignored-option reporting: a field set on an
+// algorithm that does not read it yields a deterministic warning, while an
+// algorithm that reads it yields none for that field.
+func TestOptionsWarnings(t *testing.T) {
+	d := datagen.Diag(8)
+	mine := func(name string, opts engine.Options) *engine.Report {
+		t.Helper()
+		alg, err := engine.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := alg.Mine(context.Background(), d, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+
+	rep := mine("eclat", engine.Options{MinCount: 4, K: 9, Seed: 5})
+	want := []string{
+		`option K is ignored by algorithm "eclat"`,
+		`option Seed is ignored by algorithm "eclat"`,
+	}
+	if !reflect.DeepEqual(rep.Warnings, want) {
+		t.Errorf("eclat warnings = %q, want %q", rep.Warnings, want)
+	}
+
+	if rep := mine("fusion", engine.Options{MinCount: 4, K: 9, Seed: 5}); len(rep.Warnings) != 0 {
+		t.Errorf("fusion warned about options it reads: %q", rep.Warnings)
+	}
+	if rep := mine("topk", engine.Options{MinCount: 4, K: 9, MinSize: 2}); len(rep.Warnings) != 0 {
+		t.Errorf("topk warned about options it reads: %q", rep.Warnings)
+	}
+	// Universally applicable fields never warn.
+	if rep := mine("closed", engine.Options{MinCount: 4, Parallelism: 2}); len(rep.Warnings) != 0 {
+		t.Errorf("closed warned about universal options: %q", rep.Warnings)
 	}
 }
 

@@ -30,10 +30,28 @@
 // help text, and cmd/pfserve exposes every registered algorithm over
 // HTTP, so a new miner becomes reachable everywhere by registering.
 //
+// # Parallelism
+//
+// Every registered algorithm honors Options.Parallelism (0 = all CPUs)
+// via the package's shared work-stealing scheduler, Tasks: a miner
+// decomposes its search into independent task units — first-level
+// equivalence classes (eclat, closed, maximal, topk), conditional-tree
+// roots (fpgrowth), per-level candidate-range chunks (apriori),
+// row-enumeration subtrees (closedrows), seed slots (fusion) — seeds one
+// bounded deque per worker, and lets idle workers steal the back half of
+// a victim's range. Cross-worker progress aggregates through a Meter, so
+// Observer events stay serialized.
+//
 // # Determinism
 //
 // A Report is a pure function of (algorithm, dataset, Options): no
-// timestamps, no scheduling artifacts. Fusion's bit-identical-across-
-// Parallelism guarantee is preserved — the registry conformance tests pin
-// both properties for every registered algorithm.
+// timestamps, no scheduling artifacts. The fusion engine's founding
+// bit-identical-across-Parallelism guarantee now extends to all eight
+// algorithms: each task's output is a pure function of the task, outputs
+// merge in canonical task order (never completion order), and any
+// cross-task reconciliation — maximal's subsumption filter, topk's
+// total-order top-k selection — is a deterministic sequential pass over
+// that merged stream. The registry conformance tests pin byte-identical
+// reports for Parallelism ∈ {1, 2, 8} on every registered algorithm; see
+// ARCHITECTURE.md for the full determinism contract.
 package engine

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/dataset"
 )
@@ -22,8 +23,8 @@ type Algorithm interface {
 }
 
 // Options is the shared parameter set of all registered algorithms. Each
-// algorithm reads the fields that apply to it and ignores the rest; zero
-// values select per-algorithm defaults. The field ↔ algorithm mapping:
+// algorithm reads the fields that apply to it; zero values select
+// per-algorithm defaults. The field ↔ algorithm mapping:
 //
 //	MinCount / MinSupport  all:        support threshold (MinCount wins)
 //	K                      fusion:     max patterns; topk: k (default 100)
@@ -32,8 +33,14 @@ type Algorithm interface {
 //	MinSize                closed, closedrows, topk: minimum pattern size
 //	MaxSize                apriori, eclat, fpgrowth: maximum pattern size
 //	Seed                   fusion:     RNG seed (default 1)
-//	Parallelism            fusion:     fusion workers (0 = all CPUs)
+//	Parallelism            all:        worker goroutines (0 = all CPUs)
 //	Observer               all:        progress-event callback
+//
+// Setting a field the selected algorithm does not read is not an error —
+// the same Options value can drive every algorithm — but it is recorded:
+// the run's Report.Warnings lists each ignored non-zero field, so callers
+// (and the pfmine / pfserve surfaces) can tell a mis-aimed option from an
+// applied one.
 type Options struct {
 	// MinCount is the absolute minimum support count. If zero, MinSupport
 	// is used instead.
@@ -56,12 +63,17 @@ type Options struct {
 	// Seed seeds fusion's deterministic RNG; zero selects 1 so that the
 	// zero Options value is still a valid, reproducible configuration.
 	Seed uint64
-	// Parallelism is fusion's per-iteration worker count; zero means all
-	// CPUs. Results are bit-identical for every value.
+	// Parallelism is the worker-goroutine count every algorithm mines
+	// with; zero means all CPUs and negative values are rejected by Run.
+	// Reports are bit-identical for every value: each miner decomposes
+	// its search into deterministic task
+	// units (see the Tasks scheduler) and merges per-task results in
+	// canonical task order, so scheduling never leaks into the result.
 	Parallelism int
-	// Observer, if non-nil, receives progress events. It is called
-	// synchronously from the mining goroutine (never concurrently) and
-	// must not block; see Event.
+	// Observer, if non-nil, receives progress events. Calls are
+	// serialized — never concurrent — but for Parallelism != 1 they may
+	// come from worker goroutines (see Meter); the Observer must not
+	// block and must not assume a single calling goroutine identity.
 	Observer Observer
 }
 
@@ -100,6 +112,43 @@ type Report struct {
 	// Stopped is true if the run was canceled before completion; Patterns
 	// is then a partial result.
 	Stopped bool
+	// Warnings lists the non-zero Options fields the algorithm ignored
+	// (e.g. K on a non-topk miner), in Options field-declaration order.
+	// It is filled by Run from the adapter's Uses declaration and is a
+	// pure function of (algorithm, Options), preserving Report
+	// determinism.
+	Warnings []string
+}
+
+// Uses declares which of the algorithm-specific Options fields an
+// algorithm reads; Run turns the complement into Report.Warnings. The
+// universally applicable fields (MinCount, MinSupport, Parallelism,
+// Observer) have no flag here — every algorithm reads them.
+type Uses struct {
+	K               bool
+	Tau             bool
+	InitPoolMaxSize bool
+	MinSize         bool
+	MaxSize         bool
+	Seed            bool
+}
+
+// ignoredWarnings renders one warning per non-zero Options field that u
+// does not declare, in field-declaration order (deterministic).
+func (o Options) ignoredWarnings(name string, u Uses) []string {
+	var out []string
+	check := func(field string, set, used bool) {
+		if set && !used {
+			out = append(out, fmt.Sprintf("option %s is ignored by algorithm %q", field, name))
+		}
+	}
+	check("K", o.K != 0, u.K)
+	check("Tau", o.Tau != 0, u.Tau)
+	check("InitPoolMaxSize", o.InitPoolMaxSize != 0, u.InitPoolMaxSize)
+	check("MinSize", o.MinSize != 0, u.MinSize)
+	check("MaxSize", o.MaxSize != 0, u.MaxSize)
+	check("Seed", o.Seed != 0, u.Seed)
+	return out
 }
 
 // Phase labels the stage of a run an Event reports on.
@@ -150,17 +199,25 @@ func (o Observer) Emit(e Event) {
 
 // Run brackets a miner invocation with the uniform engine contract so it
 // lives in one place instead of eight adapters: a PhaseStart event
-// before; then Algorithm stamping, canonical pattern sorting (largest
-// first) and a PhaseDone event — carrying the iteration count, or the
+// before; then Algorithm stamping, ignored-option Warnings (from the
+// adapter's Uses declaration), canonical pattern sorting (largest first)
+// and a PhaseDone event — carrying the iteration count, or the
 // visited-node count for the DFS miners — after. mine returns the raw
 // report; errors pass through unbracketed.
-func Run(name string, obs Observer, mine func() (*Report, error)) (*Report, error) {
+func Run(name string, opts Options, uses Uses, mine func() (*Report, error)) (*Report, error) {
+	// Uniform across algorithms: a negative worker count is a caller bug,
+	// not a request for the default (matching core.Config.validate).
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("engine: Parallelism must be >= 0, got %d", opts.Parallelism)
+	}
+	obs := opts.Observer
 	obs.Emit(Event{Algorithm: name, Phase: PhaseStart})
 	rep, err := mine()
 	if err != nil {
 		return nil, err
 	}
 	rep.Algorithm = name
+	rep.Warnings = opts.ignoredWarnings(name, uses)
 	dataset.SortPatterns(rep.Patterns)
 	done := Event{Algorithm: name, Phase: PhaseDone, Iteration: rep.Iterations, PoolSize: len(rep.Patterns)}
 	if done.Iteration == 0 {

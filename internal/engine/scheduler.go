@@ -1,0 +1,213 @@
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves an Options.Parallelism value to a concrete worker count:
+// the value itself when positive, otherwise runtime.GOMAXPROCS(0).
+// (Negative values never reach a miner through the engine — Run rejects
+// them — so the non-positive case exists for the zero default.)
+func Workers(parallelism int) int {
+	if parallelism > 0 {
+		return parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Tasks runs the n independent task units 0..n-1 on up to workers
+// goroutines scheduled by per-worker bounded work-stealing deques, and
+// reports whether cancellation preempted any of them.
+//
+// Tasks is the shared scheduler behind every miner's Parallelism support.
+// The contract that makes it safe for bit-identical mining:
+//
+//   - run(worker, task) is called exactly once for every task in [0, n)
+//     unless ctx is canceled first; worker ∈ [0, workers) identifies the
+//     executing goroutine so callers can reuse per-worker scratch state.
+//   - Which worker runs which task is scheduling-dependent and must not
+//     influence the result: callers write each task's output into a
+//     task-indexed slot and merge the slots in task order afterwards.
+//   - ctx is polled before every task; once it is canceled, every worker
+//     stops claiming tasks and Tasks returns true. Tasks that already
+//     started still run to completion (they poll ctx themselves at the
+//     miner's natural cadence).
+//
+// The task set is static — tasks must not spawn further tasks — so each
+// deque's backing array is allocated once at seeding and never grows:
+// owners pop from the front of their own deque, and an idle worker steals
+// the back half of a victim's remaining range. With workers <= 1 (or
+// n <= 1) the tasks run inline on the calling goroutine in task order,
+// which is also the degenerate case of the merge rule above.
+func Tasks(ctx context.Context, workers, n int, run func(worker, task int)) (stopped bool) {
+	if n <= 0 {
+		return ctx.Err() != nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for task := 0; task < n; task++ {
+			if ctx.Err() != nil {
+				return true
+			}
+			run(0, task)
+		}
+		return false
+	}
+
+	// Seed one bounded deque per worker with a contiguous block of the
+	// task range, all views into a single backing array.
+	all := make([]int, n)
+	for i := range all {
+		all[i] = i
+	}
+	deques := make([]taskDeque, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		deques[w].tasks = all[lo:hi]
+	}
+
+	var preempted atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			for {
+				if preempted.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					preempted.Store(true)
+					return
+				}
+				task, ok := deques[self].popFront()
+				if !ok {
+					task, ok = stealInto(deques, self)
+				}
+				if !ok {
+					return
+				}
+				run(self, task)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return preempted.Load()
+}
+
+// taskDeque is one worker's bounded task queue. The owner pops from the
+// front; thieves remove the back half of the remaining range. The backing
+// array is fixed at seeding (or aliased from a victim at steal time) and
+// never written, so moving a sub-range between deques is a pair of slice
+// re-headers under the two deques' locks — no copying, no growth.
+type taskDeque struct {
+	mu    sync.Mutex
+	tasks []int // remaining tasks, front at [0]
+}
+
+// popFront removes and returns the deque's front task.
+func (d *taskDeque) popFront() (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return 0, false
+	}
+	t := d.tasks[0]
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// stealHalf removes and returns the back half (rounded up) of the deque.
+func (d *taskDeque) stealHalf() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil
+	}
+	take := (len(d.tasks) + 1) / 2
+	stolen := d.tasks[len(d.tasks)-take:]
+	d.tasks = d.tasks[:len(d.tasks)-take]
+	return stolen
+}
+
+// stealInto scans the other workers' deques (starting after self, so
+// thieves spread across victims) and moves half of the first non-empty
+// victim's tasks into self's deque, returning the first of them to run.
+// A full unsuccessful scan means every remaining task is already claimed
+// or owned by a live worker, so self can retire: tasks never spawn tasks,
+// and a deque only ever gains work while its owner is still running.
+func stealInto(deques []taskDeque, self int) (int, bool) {
+	for i := 1; i < len(deques); i++ {
+		victim := (self + i) % len(deques)
+		if stolen := deques[victim].stealHalf(); len(stolen) > 0 {
+			d := &deques[self]
+			d.mu.Lock()
+			d.tasks = stolen[1:]
+			d.mu.Unlock()
+			return stolen[0], true
+		}
+	}
+	return 0, false
+}
+
+// A Meter is the per-run aggregation point the workers of one parallel
+// mining run share: it fuses the two things every miner's hot loop does —
+// poll for cancellation and report progress — into a single call that is
+// safe from any number of goroutines.
+//
+// Node and pattern counts accumulate atomically across workers, and the
+// PhaseIteration events emitted every ProgressStride nodes are serialized
+// by a mutex, so an Observer sees one coherent event stream (monotone
+// aggregate counts, no interleaving corruption) no matter how many workers
+// feed it. Event timing and PoolSize snapshots may vary run to run with
+// scheduling — events are telemetry, not part of the Report, which stays a
+// pure function of (algorithm, dataset, Options).
+type Meter struct {
+	ctx      context.Context
+	algo     string
+	obs      Observer
+	nodes    atomic.Int64
+	patterns atomic.Int64
+	mu       sync.Mutex
+}
+
+// NewMeter returns a Meter for one run of the named algorithm. obs may be
+// nil (progress accounting still happens; nothing is emitted).
+func NewMeter(ctx context.Context, algorithm string, obs Observer) *Meter {
+	return &Meter{ctx: ctx, algo: algorithm, obs: obs}
+}
+
+// Visit records one explored search node and newPatterns newly emitted
+// patterns, emits an aggregated PhaseIteration event every ProgressStride
+// nodes, and reports whether the run's context has been canceled — the
+// one-line replacement for the miners' per-node canceled() checks.
+func (m *Meter) Visit(newPatterns int) bool {
+	if newPatterns != 0 {
+		m.patterns.Add(int64(newPatterns))
+	}
+	if n := m.nodes.Add(1); m.obs != nil && n%ProgressStride == 0 {
+		m.mu.Lock()
+		// Re-read both counters inside the lock: emissions are serialized
+		// here, so consecutive events always carry non-decreasing counts
+		// even when the stride boundaries were crossed out of order.
+		m.obs(Event{
+			Algorithm: m.algo, Phase: PhaseIteration,
+			Iteration: int(m.nodes.Load()), PoolSize: int(m.patterns.Load()),
+		})
+		m.mu.Unlock()
+	}
+	return m.ctx.Err() != nil
+}
+
+// Canceled reports whether the run's context has been canceled without
+// recording a node visit (for poll points that are not search nodes).
+func (m *Meter) Canceled() bool { return m.ctx.Err() != nil }
+
+// Emitted records n newly emitted patterns without counting a node visit,
+// for miners whose emission points are not their poll points.
+func (m *Meter) Emitted(n int) { m.patterns.Add(int64(n)) }

@@ -17,15 +17,16 @@ func init() { engine.Register(algorithm{}) }
 func (algorithm) Name() string { return Name }
 
 // Mine implements engine.Algorithm: the complete frequent set (optionally
-// capped at Options.MaxSize items) at the resolved support threshold.
-// FP-growth is a horizontal miner, so the reported patterns carry memoized
-// support counts but nil TID sets.
+// capped at Options.MaxSize items) at the resolved support threshold,
+// mined on Options.Parallelism workers. FP-growth is a horizontal miner,
+// so the reported patterns carry memoized support counts but nil TID sets.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
-	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+	return engine.Run(Name, opts, engine.Uses{MaxSize: true}, func() (*engine.Report, error) {
 		res := MineOpts(ctx, d, Options{
-			MinCount: opts.ResolveMinCount(d),
-			MaxSize:  opts.MaxSize,
-			Observer: opts.Observer,
+			MinCount:    opts.ResolveMinCount(d),
+			MaxSize:     opts.MaxSize,
+			Parallelism: opts.Parallelism,
+			Observer:    opts.Observer,
 		})
 		patterns := make([]*dataset.Pattern, len(res.Itemsets))
 		for i, ic := range res.Itemsets {

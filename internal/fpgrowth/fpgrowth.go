@@ -6,6 +6,13 @@
 // In this repository FP-growth is a baseline and an independent oracle: the
 // cross-check tests require Apriori, FP-growth and Eclat to produce
 // identical complete sets on randomized databases.
+//
+// Mining runs on Options.Parallelism workers: each header item of the
+// root FP-tree seeds an independent conditional tree, so the root items
+// are the task units on the shared engine.Tasks work-stealing scheduler —
+// the same decomposition parallel FP-growth implementations use. Per-task
+// itemsets merge in task order before the canonical sort, so the result
+// is bit-identical for every worker count.
 package fpgrowth
 
 import (
@@ -28,9 +35,10 @@ type ItemsetCount struct {
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int             // absolute minimum support count (≥ 1)
-	MaxSize  int             // only report itemsets up to this size; 0 = unbounded
-	Observer engine.Observer // optional progress events, every engine.ProgressStride nodes
+	MinCount    int             // absolute minimum support count (≥ 1)
+	MaxSize     int             // only report itemsets up to this size; 0 = unbounded
+	Parallelism int             // worker goroutines; 0 = all CPUs; results identical for any value
+	Observer    engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
 
 // Result is the outcome of a mining run.
@@ -54,8 +62,36 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	}
 	res := &Result{}
 	tree := fptree.Build(d, opts.MinCount)
-	m := &miner{ctx: ctx, opts: opts, res: res}
-	m.grow(tree, nil)
+	meter := engine.NewMeter(ctx, Name, opts.Observer)
+
+	if path := tree.SinglePath(); path != nil {
+		// Degenerate root: all patterns are sub-combinations of one chain.
+		m := &miner{meter: meter, opts: opts, res: res}
+		if !m.visit(0) {
+			m.combinations(path, nil)
+		}
+		res.Stopped = m.res.Stopped
+	} else {
+		// One task per root header item — the roots of the conditional
+		// trees; the shared parent tree is read-only across workers.
+		items := tree.Items()
+		perTask := make([]*Result, len(items))
+		stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), len(items), func(_, task int) {
+			sub := &Result{}
+			m := &miner{meter: meter, opts: opts, res: sub}
+			m.growFrom(tree, nil, items[task])
+			perTask[task] = sub
+		})
+		for _, sub := range perTask {
+			if sub == nil {
+				stopped = true // abandoned after cancellation
+				continue
+			}
+			res.Itemsets = append(res.Itemsets, sub.Itemsets...)
+			stopped = stopped || sub.Stopped
+		}
+		res.Stopped = stopped
+	}
 	// Deterministic presentation order.
 	sort.Slice(res.Itemsets, func(i, j int) bool {
 		return itemset.Compare(res.Itemsets[i].Items, res.Itemsets[j].Items) < 0
@@ -64,23 +100,16 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 }
 
 type miner struct {
-	ctx   context.Context
+	meter *engine.Meter
 	opts  Options
 	res   *Result
-	polls int
 }
 
-func (m *miner) canceled() bool {
-	m.polls++
-	if m.opts.Observer != nil && m.polls%engine.ProgressStride == 0 {
-		m.opts.Observer(engine.Event{
-			Algorithm: Name, Phase: engine.PhaseIteration,
-			Iteration: m.polls, PoolSize: len(m.res.Itemsets),
-		})
-	}
-	if m.ctx.Err() != nil {
+// visit records one conditional-tree node with the meter and latches
+// cancellation into the result.
+func (m *miner) visit(newPatterns int) bool {
+	if m.meter.Visit(newPatterns) {
 		m.res.Stopped = true
-		return true
 	}
 	return m.res.Stopped
 }
@@ -89,12 +118,13 @@ func (m *miner) emit(items itemset.Itemset, count int) {
 	if m.opts.MaxSize > 0 && len(items) > m.opts.MaxSize {
 		return
 	}
+	m.meter.Emitted(1)
 	m.res.Itemsets = append(m.res.Itemsets, ItemsetCount{Items: items, Count: count})
 }
 
 // grow mines tree conditioned on suffix (the itemset accumulated so far).
 func (m *miner) grow(tree *fptree.Tree, suffix itemset.Itemset) {
-	if m.canceled() {
+	if m.visit(0) {
 		return
 	}
 	if m.opts.MaxSize > 0 && len(suffix) >= m.opts.MaxSize {
@@ -105,22 +135,33 @@ func (m *miner) grow(tree *fptree.Tree, suffix itemset.Itemset) {
 		return
 	}
 	for _, item := range tree.Items() {
-		if m.canceled() {
+		m.growFrom(tree, suffix, item)
+		if m.res.Stopped {
 			return
 		}
-		count := tree.Counts[item]
-		if count < m.opts.MinCount {
-			continue
-		}
-		newSuffix := suffix.Add(item)
-		m.emit(newSuffix, count)
-		if m.opts.MaxSize > 0 && len(newSuffix) >= m.opts.MaxSize {
-			continue
-		}
-		cond := tree.ConditionalTree(item, m.opts.MinCount)
-		if !cond.Empty() {
-			m.grow(cond, newSuffix)
-		}
+	}
+}
+
+// growFrom mines the single header item of tree: it emits suffix ∪ {item}
+// and recurses into item's conditional tree. It is both the body of grow's
+// loop and the unit of parallel work (the root tree decomposes into one
+// growFrom per header item).
+func (m *miner) growFrom(tree *fptree.Tree, suffix itemset.Itemset, item int) {
+	if m.visit(0) {
+		return
+	}
+	count := tree.Counts[item]
+	if count < m.opts.MinCount {
+		return
+	}
+	newSuffix := suffix.Add(item)
+	m.emit(newSuffix, count)
+	if m.opts.MaxSize > 0 && len(newSuffix) >= m.opts.MaxSize {
+		return
+	}
+	cond := tree.ConditionalTree(item, m.opts.MinCount)
+	if !cond.Empty() {
+		m.grow(cond, newSuffix)
 	}
 }
 

@@ -1,0 +1,14 @@
+// Package fptree implements the FP-tree (frequent-pattern tree) of Han, Pei
+// & Yin (SIGMOD'00): a prefix tree over support-descending reorderings of
+// the transactions, with header-table node links per item. It is the data
+// structure behind the FP-growth miner in package fpgrowth, one of the
+// depth-first "pattern-growth" baselines the paper contrasts Pattern-Fusion
+// with (Section 1, Figure 1).
+//
+// Build constructs the tree for a dataset at a support threshold; the
+// miner then walks header items bottom-up (Items), projects each item's
+// prefix paths into a ConditionalTree, and short-circuits single-chain
+// trees via SinglePath. A built Tree is never mutated by the miner, so
+// parallel FP-growth workers share one root tree read-only and own the
+// conditional trees they build.
+package fptree

@@ -1,9 +1,3 @@
-// Package fptree implements the FP-tree (frequent-pattern tree) of Han, Pei
-// & Yin (SIGMOD'00): a prefix tree over support-descending reorderings of
-// the transactions, with header-table node links per item. It is the data
-// structure behind the FP-growth miner in package fpgrowth, one of the
-// depth-first "pattern-growth" baselines the paper contrasts Pattern-Fusion
-// with (Section 1, Figure 1).
 package fptree
 
 import (

@@ -1,0 +1,19 @@
+// Package itemset provides the itemset algebra used by every miner in this
+// repository.
+//
+// An Itemset is a strictly increasing slice of non-negative item IDs — the
+// canonical representation of the paper's itemsets α ⊆ I (Section 2.1).
+// The package supplies the set operations the algorithms need (union,
+// intersection, difference, subset tests), the itemset edit distance of
+// Definition 8 (Edit(α,β) = |α∪β| − |α∩β|), and two ways of keying itemsets
+// in maps: human-readable canonical string keys (Key/ParseKey, for tests
+// and I/O) and allocation-free 128-bit Fingerprints (for the mining hot
+// paths).
+//
+// Two total orders cover the repository's deterministic-output needs:
+// Compare (size first, then lexicographic — the presentation order of
+// result sets) and CompareLex (purely lexicographic — the order the
+// level-wise join in apriori relies on). Every operation treats its
+// receivers as immutable, so itemsets, like TID bitsets, are shared
+// freely across the parallel miners' workers.
+package itemset

@@ -1,14 +1,3 @@
-// Package itemset provides the itemset algebra used by every miner in this
-// repository.
-//
-// An Itemset is a strictly increasing slice of non-negative item IDs — the
-// canonical representation of the paper's itemsets α ⊆ I (Section 2.1).
-// The package supplies the set operations the algorithms need (union,
-// intersection, difference, subset tests), the itemset edit distance of
-// Definition 8 (Edit(α,β) = |α∪β| − |α∩β|), and two ways of keying itemsets
-// in maps: human-readable canonical string keys (Key/ParseKey, for tests
-// and I/O) and allocation-free 128-bit Fingerprints (for the mining hot
-// paths).
 package itemset
 
 import (

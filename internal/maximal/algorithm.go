@@ -17,12 +17,13 @@ func init() { engine.Register(algorithm{}) }
 func (algorithm) Name() string { return Name }
 
 // Mine implements engine.Algorithm: the complete maximal frequent set at
-// the resolved support threshold.
+// the resolved support threshold, mined on Options.Parallelism workers.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
-	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+	return engine.Run(Name, opts, engine.Uses{}, func() (*engine.Report, error) {
 		res := MineOpts(ctx, d, Options{
-			MinCount: opts.ResolveMinCount(d),
-			Observer: opts.Observer,
+			MinCount:    opts.ResolveMinCount(d),
+			Parallelism: opts.Parallelism,
+			Observer:    opts.Observer,
 		})
 		return &engine.Report{Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
 	})

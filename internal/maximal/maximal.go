@@ -20,6 +20,18 @@
 // mid-sized maximal patterns does (e.g. on Diag_n, which has C(n, n/2) of
 // them) — exactly the behaviour Figure 6 documents and Pattern-Fusion
 // sidesteps.
+//
+// Mining runs on Options.Parallelism workers. The subtrees under the
+// root's (reordered) extensions are the task units on the shared
+// engine.Tasks work-stealing scheduler; each task keeps a task-local MFI,
+// so its pruning — and therefore its visit count and candidate output —
+// is a pure function of the task alone. Task candidates are concatenated
+// in task order and passed through a sequential subsumption filter, which
+// restores exactly the answer a globally shared MFI produces (a candidate
+// survives a task-local MFI iff it is not subsumed by an earlier candidate
+// of its own subtree; the filter removes the cross-subtree subsumptions in
+// the same earliest-wins order the shared table would have). Every stage
+// is deterministic, so the result is bit-identical for every worker count.
 package maximal
 
 import (
@@ -34,8 +46,9 @@ import (
 
 // Options configures a mining run.
 type Options struct {
-	MinCount int             // absolute minimum support count (≥ 1)
-	Observer engine.Observer // optional progress events, every engine.ProgressStride nodes
+	MinCount    int             // absolute minimum support count (≥ 1)
+	Parallelism int             // worker goroutines; 0 = all CPUs; results identical for any value
+	Observer    engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
 
 // Result is the outcome of a mining run.
@@ -58,7 +71,8 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
-	m := &miner{ctx: ctx, d: d, opts: opts, res: &Result{}}
+	meter := engine.NewMeter(ctx, Name, opts.Observer)
+	root := &miner{meter: meter, d: d, opts: opts, res: &Result{}}
 
 	var tail []extension
 	for _, item := range d.FrequentItems(opts.MinCount) {
@@ -66,12 +80,69 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 		tail = append(tail, extension{item: item, tids: tids, sup: tids.Count()})
 	}
 	if len(tail) == 0 {
-		return m.res
+		return root.res
 	}
 	all := bitset.New(d.Size())
 	all.SetAll()
-	m.search(nil, all, tail)
-	return m.res
+
+	// The root node runs on the dispatcher; its surviving extensions are
+	// the parallel task units (head, extension tidsets and the shared tail
+	// slices are read-only across workers).
+	root.res.Visited++
+	head, exts, handled := root.node(nil, all, tail)
+	res := root.res
+	if handled {
+		return res
+	}
+	perTask := make([]*Result, len(exts))
+	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), len(exts), func(_, task int) {
+		sub := &miner{meter: meter, d: d, opts: opts, res: &Result{}}
+		sub.search(head.Add(exts[task].item), exts[task].tids, exts[task+1:])
+		perTask[task] = sub.res
+	})
+	var candidates []*dataset.Pattern
+	for _, sub := range perTask {
+		if sub == nil {
+			stopped = true // abandoned after cancellation
+			continue
+		}
+		candidates = append(candidates, sub.Patterns...)
+		res.Visited += sub.Visited
+		stopped = stopped || sub.Stopped
+	}
+	// Task-local MFIs only prune within their own subtree; the earliest-
+	// wins filter removes the cross-subtree subsumptions a shared MFI
+	// would have caught, restoring the sequential answer exactly.
+	res.Patterns = filterSubsumed(d, candidates)
+	res.Stopped = stopped
+	return res
+}
+
+// filterSubsumed keeps, in order, every candidate not contained in an
+// already-kept candidate — the sequential replay of the shared-MFI
+// subsumption test over the task-order candidate stream.
+func filterSubsumed(d *dataset.Dataset, candidates []*dataset.Pattern) []*dataset.Pattern {
+	kept := make([]itemBits, 0, len(candidates))
+	out := make([]*dataset.Pattern, 0, len(candidates))
+	for _, p := range candidates {
+		bits := bitset.New(d.NumItems())
+		for _, it := range p.Items {
+			bits.Set(it)
+		}
+		subsumed := false
+		for _, mx := range kept {
+			if bits.SubsetOf(mx.bits) {
+				subsumed = true
+				break
+			}
+		}
+		if subsumed {
+			continue
+		}
+		kept = append(kept, itemBits{pattern: p, bits: bits})
+		out = append(out, p)
+	}
+	return out
 }
 
 type extension struct {
@@ -81,12 +152,13 @@ type extension struct {
 }
 
 type miner struct {
-	ctx  context.Context
-	d    *dataset.Dataset
-	opts Options
-	res  *Result
-	// mfi is the list of maximal sets found so far, each with an item
-	// bitset for fast subset tests.
+	meter *engine.Meter
+	d     *dataset.Dataset
+	opts  Options
+	res   *Result
+	// mfi is the list of maximal sets this miner has found so far, each
+	// with an item bitset for fast subset tests. In a parallel run every
+	// task owns its own miner, so the table is task-local by construction.
 	mfi []itemBits
 }
 
@@ -95,16 +167,11 @@ type itemBits struct {
 	bits    *bitset.Bitset // over item IDs
 }
 
-func (m *miner) canceled() bool {
-	if m.opts.Observer != nil && m.res.Visited%engine.ProgressStride == 0 && m.res.Visited > 0 {
-		m.opts.Observer(engine.Event{
-			Algorithm: Name, Phase: engine.PhaseIteration,
-			Iteration: m.res.Visited, PoolSize: len(m.res.Patterns),
-		})
-	}
-	if m.ctx.Err() != nil {
+// visit records one search node with the meter and latches cancellation
+// into the result.
+func (m *miner) visit() bool {
+	if m.meter.Visit(0) {
 		m.res.Stopped = true
-		return true
 	}
 	return m.res.Stopped
 }
@@ -136,6 +203,7 @@ func (m *miner) record(items itemset.Itemset, tids *bitset.Bitset, sup int) {
 	}
 	p := dataset.NewPatternCounted(items, tids.Clone(), sup)
 	m.mfi = append(m.mfi, itemBits{pattern: p, bits: bits})
+	m.meter.Emitted(1)
 	m.res.Patterns = append(m.res.Patterns, p)
 }
 
@@ -143,11 +211,29 @@ func (m *miner) record(items itemset.Itemset, tids *bitset.Bitset, sup int) {
 // candidate extensions in tail. Tail tidsets may be relative to any
 // ancestor; they are re-intersected with tids on entry.
 func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extension) {
-	if m.canceled() {
+	if m.visit() {
 		return
 	}
 	m.res.Visited++
+	head, exts, handled := m.node(head, tids, tail)
+	if handled {
+		return
+	}
+	for i, e := range exts {
+		m.search(head.Add(e.item), e.tids, exts[i+1:])
+		if m.res.Stopped {
+			return
+		}
+	}
+}
 
+// node performs the non-recursive work of one search node — extension
+// gathering with PEP absorption, leaf recording, the HUTMFI subsumption
+// prune, the FHUT lookahead, and dynamic reordering — and returns the
+// (possibly PEP-grown) head with its reordered extensions. handled=true
+// means the node completed without needing to recurse; MineOpts uses the
+// root node's extensions as the parallel task units.
+func (m *miner) node(head itemset.Itemset, tids *bitset.Bitset, tail []extension) (itemset.Itemset, []extension, bool) {
 	// Compute frequent extensions relative to head; PEP-absorb equal-support
 	// ones directly into the head.
 	headSup := tids.Count()
@@ -169,7 +255,7 @@ func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extensi
 
 	if len(exts) == 0 {
 		m.record(head, tids, headSup)
-		return
+		return head, nil, true
 	}
 
 	// HUT = head ∪ tail: used by both the HUTMFI subsumption prune and the
@@ -179,7 +265,7 @@ func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extensi
 		hut = hut.Add(e.item)
 	}
 	if m.subsumed(m.itemBitsOf(hut)) {
-		return
+		return head, nil, true
 	}
 	hutTids := tids.Clone()
 	hutSup := 0
@@ -193,7 +279,7 @@ func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extensi
 	if hutTids != nil {
 		// FHUT: head ∪ tail is frequent — the unique maximal candidate here.
 		m.record(hut, hutTids, hutSup)
-		return
+		return head, nil, true
 	}
 
 	// Dynamic reordering: most constrained (lowest support) first, using the
@@ -205,12 +291,7 @@ func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extensi
 		}
 		return exts[i].item < exts[j].item
 	})
-	for i, e := range exts {
-		m.search(head.Add(e.item), e.tids, exts[i+1:])
-		if m.res.Stopped {
-			return
-		}
-	}
+	return head, exts, false
 }
 
 // IsMaximal reports whether alpha is maximal in d at minCount: alpha is

@@ -163,7 +163,7 @@ func renderResult(rep *engine.Report, r *http.Request) map[string]any {
 	for i, p := range patterns {
 		out[i] = resultPattern{Items: itemsOf(p), Support: p.Support(), Size: len(p.Items)}
 	}
-	return map[string]any{
+	result := map[string]any{
 		"algorithm":      rep.Algorithm,
 		"patterns":       out,
 		"total_patterns": len(rep.Patterns),
@@ -173,6 +173,10 @@ func renderResult(rep *engine.Report, r *http.Request) map[string]any {
 		"visited":        rep.Visited,
 		"stopped":        rep.Stopped,
 	}
+	if len(rep.Warnings) > 0 {
+		result["warnings"] = rep.Warnings
+	}
+	return result
 }
 
 func itemsOf(p *dataset.Pattern) []int {

@@ -15,6 +15,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -60,6 +61,13 @@ type Config struct {
 	// DataDir, when non-empty, allows {"path": ...} dataset specs
 	// resolved inside this directory. Empty disables path loading.
 	DataDir string
+	// MaxParallelism caps each job's Options.Parallelism. Zero selects
+	// the server's per-job CPU budget, max(1, GOMAXPROCS/Workers), so
+	// Workers concurrent jobs cannot oversubscribe the machine; negative
+	// means uncapped. Capping never changes a job's mined patterns —
+	// every algorithm is bit-identical across Parallelism — only how many
+	// cores the job may use.
+	MaxParallelism int
 	// MaxEvents bounds the per-job event log; older events are dropped
 	// (the log keeps a running first-sequence offset). Defaults to 1024.
 	MaxEvents int
@@ -80,6 +88,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEvents <= 0 {
 		c.MaxEvents = 1024
+	}
+	if c.MaxParallelism == 0 {
+		c.MaxParallelism = runtime.GOMAXPROCS(0) / c.Workers
+		if c.MaxParallelism < 1 {
+			c.MaxParallelism = 1
+		}
 	}
 	return c
 }
@@ -303,6 +317,12 @@ func (m *Manager) mine(ctx context.Context, j *Job) (rep *engine.Report, err err
 		return nil, err
 	}
 	opts := j.Spec.Options.engineOptions()
+	// Cap the job's worker count at the server's per-job CPU budget
+	// (0 = all CPUs would let one job claim the whole machine; negatives
+	// are rejected at submission, so <= 0 here is the defensive form).
+	if max := m.cfg.MaxParallelism; max > 0 && (opts.Parallelism <= 0 || opts.Parallelism > max) {
+		opts.Parallelism = max
+	}
 	opts.Observer = func(e engine.Event) { m.appendEvent(j, e) }
 	return alg.Mine(ctx, d, opts)
 }

@@ -38,6 +38,9 @@ func (s JobSpec) validate(cfg Config) error {
 	if s.TimeoutMS < 0 {
 		return fmt.Errorf("server: timeout_ms must be >= 0, got %d", s.TimeoutMS)
 	}
+	if s.Options.Parallelism < 0 {
+		return fmt.Errorf("server: parallelism must be >= 0, got %d", s.Options.Parallelism)
+	}
 	return s.Dataset.validate(cfg)
 }
 

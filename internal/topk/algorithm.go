@@ -17,10 +17,11 @@ func init() { engine.Register(algorithm{}) }
 func (algorithm) Name() string { return Name }
 
 // Mine implements engine.Algorithm: the top Options.K most frequent closed
-// patterns of at least Options.MinSize items. Options.MinCount /
-// MinSupport act as TFP's optional support floor.
+// patterns of at least Options.MinSize items, mined on
+// Options.Parallelism workers. Options.MinCount / MinSupport act as TFP's
+// optional support floor.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
-	return engine.Run(Name, opts.Observer, func() (*engine.Report, error) {
+	return engine.Run(Name, opts, engine.Uses{K: true, MinSize: true}, func() (*engine.Report, error) {
 		k := opts.K
 		if k == 0 {
 			k = 100
@@ -30,10 +31,11 @@ func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Optio
 			floor = opts.ResolveMinCount(d)
 		}
 		res := MineOpts(ctx, d, Options{
-			K:         k,
-			MinLength: opts.MinSize,
-			FloorMin:  floor,
-			Observer:  opts.Observer,
+			K:           k,
+			MinLength:   opts.MinSize,
+			FloorMin:    floor,
+			Parallelism: opts.Parallelism,
+			Observer:    opts.Observer,
 		})
 		return &engine.Report{Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
 	})

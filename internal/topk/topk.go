@@ -8,6 +8,19 @@
 // can no longer enter the answer. The closed enumeration reuses the
 // prefix-preserving closure extension of package charm, but visits
 // extensions in descending support order so the threshold rises fast.
+//
+// The answer set is defined by a total order on patterns — support
+// descending, then size descending, then lexicographic — so which k
+// patterns are "best" never depends on discovery order. That makes the
+// search parallelizable without changing the answer: each first-level
+// extension of the root closure is one task unit on the shared
+// engine.Tasks work-stealing scheduler, every task raises a task-local
+// threshold from its own discoveries (sound: a task's k-th best support
+// never exceeds the global one), and the ≤ k survivors per task merge
+// under the same total order. Both the merged answer and the per-task
+// visit counts are pure functions of (dataset, Options), so the result is
+// bit-identical for every worker count. The price is that sibling
+// subtrees do not share their raised thresholds within one run.
 package topk
 
 import (
@@ -24,10 +37,11 @@ import (
 
 // Options configures a mining run.
 type Options struct {
-	K         int             // number of patterns to report (> 0)
-	MinLength int             // only patterns with at least this many items qualify
-	FloorMin  int             // optional support floor; the threshold never goes below it (≥ 1)
-	Observer  engine.Observer // optional progress events, every engine.ProgressStride nodes
+	K           int             // number of patterns to report (> 0)
+	MinLength   int             // only patterns with at least this many items qualify
+	FloorMin    int             // optional support floor; the threshold never goes below it (≥ 1)
+	Parallelism int             // worker goroutines; 0 = all CPUs; results identical for any value
+	Observer    engine.Observer // optional progress events, every engine.ProgressStride nodes
 }
 
 // Result is the outcome of a mining run.
@@ -57,51 +71,104 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	if d.Size() < opts.FloorMin {
 		return res
 	}
-	m := &miner{ctx: ctx, d: d, opts: opts, res: res, minCount: opts.FloorMin}
+	meter := engine.NewMeter(ctx, Name, opts.Observer)
 
 	all := bitset.New(d.Size())
 	all.SetAll()
 	c0 := charm.ClosureOf(d, all)
-	m.offer(c0, all)
-	m.extend(c0, all, -1)
 
-	out := make([]*dataset.Pattern, len(m.heap))
-	copy(out, m.heap)
-	sort.Slice(out, func(i, j int) bool {
-		si, sj := out[i].Support(), out[j].Support()
+	// The root node runs on the dispatcher: offer the root closure, gather
+	// its extension candidates, and order them by descending support — the
+	// candidate order is both the sequential visit order and the parallel
+	// task order.
+	root := &miner{meter: meter, d: d, opts: opts, minCount: opts.FloorMin}
+	res.Visited++
+	root.offer(c0, all)
+	cands := root.candidates(c0, all, -1)
+
+	// Every task seeds its threshold with the dispatcher's (deterministic)
+	// post-root value and raises it only from its own subtree, so its
+	// pruning — and visit count — is a pure function of the task alone.
+	base := root.minCount
+	perTask := make([]*miner, len(cands))
+	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), len(cands), func(_, task int) {
+		m := &miner{meter: meter, d: d, opts: opts, minCount: base}
+		m.extendFrom(c0, cands[task])
+		perTask[task] = m
+	})
+
+	// Merge: ppc-ext generates each closed pattern exactly once across the
+	// whole tree, so the union of the per-task heaps has no duplicates;
+	// the top K under the total order are the answer.
+	merged := append([]*dataset.Pattern{}, root.heap...)
+	for _, m := range perTask {
+		if m == nil {
+			stopped = true // abandoned after cancellation
+			continue
+		}
+		merged = append(merged, m.heap...)
+		res.Visited += m.visited
+		stopped = stopped || m.stopped
+	}
+	sort.Slice(merged, func(i, j int) bool { return better(merged[i], merged[j]) })
+	if len(merged) > opts.K {
+		merged = merged[:opts.K]
+	}
+	// Presentation order: descending support, ties by (size, lex).
+	sort.Slice(merged, func(i, j int) bool {
+		si, sj := merged[i].Support(), merged[j].Support()
 		if si != sj {
 			return si > sj
 		}
-		return itemset.Compare(out[i].Items, out[j].Items) < 0
+		return itemset.Compare(merged[i].Items, merged[j].Items) < 0
 	})
-	res.Patterns = out
-	res.MinCount = m.minCount
-	res.Visited = m.visited
+	res.Patterns = merged
+	if len(merged) == opts.K {
+		if t := merged[len(merged)-1].Support(); t > res.MinCount {
+			res.MinCount = t
+		}
+	}
+	res.Stopped = stopped
 	return res
 }
 
-type miner struct {
-	ctx      context.Context
-	d        *dataset.Dataset
-	opts     Options
-	res      *Result
-	minCount int
-	visited  int
-	heap     patternHeap // min-heap on support of the current best ≤ K qualifying patterns
+// better is the strict total order defining the answer set: higher
+// support first, then larger patterns, then lexicographically smaller
+// itemsets. Distinct closed patterns always compare strictly, so the
+// top-k under this order is independent of discovery order.
+func better(a, b *dataset.Pattern) bool {
+	return betterThan(a.Support(), a.Items, b)
 }
 
-func (m *miner) canceled() bool {
-	if m.opts.Observer != nil && m.visited%engine.ProgressStride == 0 && m.visited > 0 {
-		m.opts.Observer(engine.Event{
-			Algorithm: Name, Phase: engine.PhaseIteration,
-			Iteration: m.visited, PoolSize: len(m.heap),
-		})
+// betterThan reports whether a pattern with the given support and itemset
+// would rank above b under the better() total order, without constructing
+// the pattern.
+func betterThan(sup int, items itemset.Itemset, b *dataset.Pattern) bool {
+	if sb := b.Support(); sup != sb {
+		return sup > sb
 	}
-	if m.ctx.Err() != nil {
-		m.res.Stopped = true
-		return true
+	if len(items) != len(b.Items) {
+		return len(items) > len(b.Items)
 	}
-	return m.res.Stopped
+	return itemset.Compare(items, b.Items) < 0
+}
+
+type miner struct {
+	meter    *engine.Meter
+	d        *dataset.Dataset
+	opts     Options
+	minCount int
+	visited  int
+	stopped  bool
+	heap     patternHeap // min-heap under better() of the current best ≤ K qualifying patterns
+}
+
+// visit records one search node with the meter and latches cancellation.
+func (m *miner) visit() bool {
+	if m.meter.Visit(0) {
+		m.stopped = true
+	}
+	return m.stopped
 }
 
 // offer considers a closed pattern for the top-k answer and raises the
@@ -111,9 +178,10 @@ func (m *miner) offer(c itemset.Itemset, tids *bitset.Bitset) {
 		return
 	}
 	sup := tids.Count()
-	if len(m.heap) == m.opts.K && sup <= m.heap[0].Support() {
+	if len(m.heap) == m.opts.K && !betterThan(sup, c, m.heap[0]) {
 		return
 	}
+	m.meter.Emitted(1)
 	heap.Push(&m.heap, dataset.NewPatternCounted(c, tids.Clone(), sup))
 	if len(m.heap) > m.opts.K {
 		heap.Pop(&m.heap)
@@ -125,20 +193,17 @@ func (m *miner) offer(c itemset.Itemset, tids *bitset.Bitset) {
 	}
 }
 
-// extend is the ppc-ext closed enumeration with dynamic threshold raising.
-// Extensions are tried in descending support order so high-support closed
-// patterns are found early.
-func (m *miner) extend(c itemset.Itemset, tids *bitset.Bitset, core int) {
-	if m.canceled() {
-		return
-	}
-	m.visited++
+// cand is one frequent single-item extension of a closed set.
+type cand struct {
+	item int
+	sub  *bitset.Bitset
+	sup  int
+}
 
-	type cand struct {
-		item int
-		sub  *bitset.Bitset
-		sup  int
-	}
+// candidates gathers the frequent extensions of the closed set c (support
+// set tids) with items greater than core, ordered by descending support so
+// high-support branches are visited first and the threshold rises fast.
+func (m *miner) candidates(c itemset.Itemset, tids *bitset.Bitset, core int) []cand {
 	var cands []cand
 	for i := core + 1; i < m.d.NumItems(); i++ {
 		if c.Contains(i) {
@@ -155,18 +220,36 @@ func (m *miner) extend(c itemset.Itemset, tids *bitset.Bitset, core int) {
 		}
 		return cands[a].item < cands[b].item
 	})
-	for _, cd := range cands {
-		// The threshold may have risen since the candidate was gathered.
-		if cd.sup < m.minCount {
-			continue
-		}
-		cc := charm.ClosureOf(m.d, cd.sub)
-		if !prefixPreserved(c, cc, cd.item) {
-			continue
-		}
-		m.offer(cc, cd.sub)
-		m.extend(cc, cd.sub, cd.item)
-		if m.res.Stopped {
+	return cands
+}
+
+// extendFrom tries the single candidate extension cd of the closed set c:
+// if it still beats the (possibly raised) threshold and its closure passes
+// the ppc-ext canonicity test, the closure is offered and its subtree
+// explored. It is both the body of extend's loop and the unit of parallel
+// work (the root's candidates become the tasks).
+func (m *miner) extendFrom(c itemset.Itemset, cd cand) {
+	// The threshold may have risen since the candidate was gathered.
+	if cd.sup < m.minCount {
+		return
+	}
+	cc := charm.ClosureOf(m.d, cd.sub)
+	if !prefixPreserved(c, cc, cd.item) {
+		return
+	}
+	m.offer(cc, cd.sub)
+	m.extend(cc, cd.sub, cd.item)
+}
+
+// extend is the ppc-ext closed enumeration with dynamic threshold raising.
+func (m *miner) extend(c itemset.Itemset, tids *bitset.Bitset, core int) {
+	if m.visit() {
+		return
+	}
+	m.visited++
+	for _, cd := range m.candidates(c, tids, core) {
+		m.extendFrom(c, cd)
+		if m.stopped {
 			return
 		}
 	}
@@ -184,23 +267,24 @@ func prefixPreserved(c, cc itemset.Itemset, i int) bool {
 	return true
 }
 
-// patternHeap is a min-heap on support (ties: larger patterns evicted last,
-// then lexicographic order for determinism).
+// patternHeap is a min-heap under better(): the root is the worst of the
+// current candidate answers, evicted first when the heap overflows K.
 type patternHeap []*dataset.Pattern
 
+// Len implements heap.Interface.
 func (h patternHeap) Len() int { return len(h) }
-func (h patternHeap) Less(i, j int) bool {
-	si, sj := h[i].Support(), h[j].Support()
-	if si != sj {
-		return si < sj
-	}
-	if len(h[i].Items) != len(h[j].Items) {
-		return len(h[i].Items) < len(h[j].Items)
-	}
-	return itemset.Compare(h[i].Items, h[j].Items) > 0
-}
-func (h patternHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+
+// Less implements heap.Interface: h[i] sorts before h[j] when it is the
+// worse pattern under the better() total order.
+func (h patternHeap) Less(i, j int) bool { return better(h[j], h[i]) }
+
+// Swap implements heap.Interface.
+func (h patternHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+// Push implements heap.Interface.
 func (h *patternHeap) Push(x interface{}) { *h = append(*h, x.(*dataset.Pattern)) }
+
+// Pop implements heap.Interface.
 func (h *patternHeap) Pop() interface{} {
 	old := *h
 	n := len(old)

@@ -96,8 +96,10 @@ type Engine = engine.Algorithm
 type Options = engine.Options
 
 // Report is the uniform outcome of an engine run: the mined patterns
-// (largest first) plus iteration/visit counters and the Stopped flag. It
-// is a pure function of (algorithm, dataset, Options).
+// (largest first) plus iteration/visit counters, the Stopped flag, and
+// Warnings for any set Options fields the algorithm ignored. It is a
+// pure function of (algorithm, dataset, Options) — bit-identical for
+// every Options.Parallelism value.
 type Report = engine.Report
 
 // Event is a structured progress observation delivered to

@@ -6,16 +6,17 @@
 #   BENCHTIME=5x scripts/bench.sh         # more iterations for stabler numbers
 #   BENCH_FILTER='BenchmarkMine' scripts/bench.sh   # widen/narrow the set
 #
-# The recorded benchmarks are BenchmarkMineReplace and
-# BenchmarkMineMicroarray at p=1 and p=N — the end-to-end fusion hot path
+# The recorded benchmarks are BenchmarkMineReplace / BenchmarkMineMicroarray
+# (the end-to-end fusion hot path) and the BenchmarkEngine* family (every
+# registry miner at p=1 vs p=8 on the Replace and Microarray workloads) —
 # the perf trajectory (BENCH_*.json, one file per PR that moves the needle)
-# is tracked against. ns/op, B/op and allocs/op come from -benchmem.
+# is tracked against them. ns/op, B/op and allocs/op come from -benchmem.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_1.json}"
 benchtime="${BENCHTIME:-3x}"
-filter="${BENCH_FILTER:-BenchmarkMineReplace|BenchmarkMineMicroarray}"
+filter="${BENCH_FILTER:-BenchmarkMineReplace|BenchmarkMineMicroarray|BenchmarkEngine}"
 
 raw=$(go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" .)
 printf '%s\n' "$raw" >&2

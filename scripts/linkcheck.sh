@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# linkcheck.sh — verify that relative markdown links point at files that
+# exist in the repository.
+#
+# Usage:
+#   scripts/linkcheck.sh README.md ARCHITECTURE.md ROADMAP.md
+#
+# Checks inline links of the form [text](target). External targets
+# (http/https/mailto), pure anchors (#...), and paths escaping the repo
+# (../..., used by the CI badge) are skipped; everything else must exist
+# relative to the linking file's directory (anchors are stripped first).
+# No network access: this is an existence check, not a liveness check.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for file in "$@"; do
+  if [ ! -f "$file" ]; then
+    echo "linkcheck: $file does not exist" >&2
+    status=1
+    continue
+  fi
+  dir=$(dirname "$file")
+  # Extract every (target) of an inline markdown link.
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*|../*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$dir/$path" ]; then
+      echo "linkcheck: $file: broken link -> $target" >&2
+      status=1
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$file" | sed -E 's/^\]\(//; s/\)$//; s/ ".*"$//')
+done
+exit $status
