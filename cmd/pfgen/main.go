@@ -1,39 +1,56 @@
-// Command pfgen generates the datasets used in the paper's evaluation and
-// writes them in FIMI format (one transaction per line, space-separated
-// item IDs) so they can be fed to pfmine or to any other FIMI-compatible
-// miner.
+// Command pfgen generates the datasets used in the paper's evaluation —
+// plus the classic IBM Quest-style sparse benchmark — and writes them in
+// any supported encoding (FIMI by default, CSV or dense binary matrix
+// via -format, gzipped when -out ends in .gz) so they can be fed to
+// pfmine, pfserve, or any other FIMI-compatible miner. The ingestion
+// transform flags (-sample, -rows, -items, -min-item-support) apply to
+// the generated dataset before writing, so sharded or sampled variants
+// of a workload come straight from the generator.
 //
 // Usage:
 //
 //	pfgen -dataset diag -n 40 -out diag40.dat
-//	pfgen -dataset diagplus -n 40 -rows 20 -width 39 -out intro.dat
-//	pfgen -dataset replace -seed 1 -out replace.dat
+//	pfgen -dataset diagplus -n 40 -rows-extra 20 -width 39 -out intro.dat
+//	pfgen -dataset replace -seed 1 -out replace.dat.gz
 //	pfgen -dataset microarray -seed 1 -out all.dat
-//	pfgen -dataset random -txns 1000 -items 50 -density 0.1 -out rnd.dat
+//	pfgen -dataset random -txns 1000 -universe 50 -density 0.1 -out rnd.dat
+//	pfgen -dataset quest -txns 100000 -universe 1000 -out t10i4d100k.dat.gz
+//	pfgen -dataset quest -sample 0.1 -format csv -out shard.csv
 package main
 
 import (
+	"compress/gzip"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/ingest"
 	"repro/internal/rng"
 )
 
 func main() {
 	var (
-		kind    = flag.String("dataset", "diag", "diag, diagplus, replace, microarray, or random")
-		n       = flag.Int("n", 40, "diag/diagplus: matrix size n")
-		rows    = flag.Int("rows", 20, "diagplus: extra identical rows")
-		width   = flag.Int("width", 39, "diagplus: colossal pattern width")
-		txns    = flag.Int("txns", 1000, "random: number of transactions")
-		items   = flag.Int("items", 50, "random: item universe size")
-		density = flag.Float64("density", 0.1, "random: per-item inclusion probability")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		out     = flag.String("out", "", "output file (default: stdout)")
+		kind      = flag.String("dataset", "diag", "diag, diagplus, replace, microarray, random, or quest")
+		n         = flag.Int("n", 40, "diag/diagplus: matrix size n")
+		extraRows = flag.Int("rows-extra", 20, "diagplus: extra identical rows")
+		width     = flag.Int("width", 39, "diagplus: colossal pattern width")
+		txns      = flag.Int("txns", 1000, "random/quest: number of transactions")
+		universe  = flag.Int("universe", 50, "random/quest: item universe size (-items is the shard range)")
+		density   = flag.Float64("density", 0.1, "random: per-item inclusion probability")
+		avgTxn    = flag.Float64("avg-txn-len", 10, "quest: mean transaction length T")
+		avgPat    = flag.Float64("avg-pat-len", 4, "quest: mean potential-pattern size I")
+		patterns  = flag.Int("patterns", 200, "quest: potential-pattern pool size L")
+		corr      = flag.Float64("corr", 0.5, "quest: correlation between consecutive pool patterns")
+		corrupt   = flag.Float64("corrupt", 0.5, "quest: mean pattern corruption level")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		out       = flag.String("out", "", "output file (default: stdout; a .gz suffix gzips)")
 	)
+	var ing ingest.Flags
+	ing.Register(flag.CommandLine)
 	flag.Parse()
 
 	var d *dataset.Dataset
@@ -41,7 +58,7 @@ func main() {
 	case "diag":
 		d = datagen.Diag(*n)
 	case "diagplus":
-		d = datagen.DiagPlus(*n, *rows, *width)
+		d = datagen.DiagPlus(*n, *extraRows, *width)
 	case "replace":
 		var paths []fmt.Stringer
 		d, paths = replaceGen(*seed)
@@ -49,24 +66,67 @@ func main() {
 	case "microarray":
 		d, _ = datagen.Microarray(*seed)
 	case "random":
-		d = datagen.Random(rng.New(*seed), *txns, *items, *density)
+		d = datagen.Random(rng.New(*seed), *txns, *universe, *density)
+	case "quest":
+		d = datagen.Quest(rng.New(*seed), datagen.QuestConfig{
+			Txns: *txns, Items: *universe,
+			AvgTxnLen: *avgTxn, AvgPatLen: *avgPat,
+			Patterns: *patterns, Corr: *corr, Corrupt: *corrupt,
+		})
 	default:
 		fmt.Fprintf(os.Stderr, "pfgen: unknown dataset %q\n", *kind)
 		os.Exit(2)
 	}
 
-	fmt.Fprintf(os.Stderr, "%s\n", d.ComputeStats())
-	if *out == "" {
-		if err := d.Write(os.Stdout); err != nil {
-			fmt.Fprintf(os.Stderr, "pfgen: %v\n", err)
-			os.Exit(1)
+	// Shard/sample/prune the generated dataset with the same pipeline
+	// pfmine applies at ingestion (indices refer to generated rows).
+	transforms, err := ing.Transforms()
+	if err != nil {
+		fail(err)
+	}
+	if len(transforms) > 0 || ing.Remap {
+		d, _ = ingest.Apply(d, ing.Remap, transforms...)
+	}
+
+	// -format selects the output encoding; without it the -out extension
+	// decides (SniffFormat: .csv → csv, .mat → matrix, else FIMI), so a
+	// file named shard.csv actually contains CSV and re-ingests as such.
+	var format ingest.Format
+	if ing.Format != "" {
+		if format, err = ingest.FormatByName(ing.Format); err != nil {
+			fail(err)
 		}
-		return
+	} else {
+		format = ingest.SniffFormat(*out, nil)
 	}
-	if err := d.Save(*out); err != nil {
-		fmt.Fprintf(os.Stderr, "pfgen: %v\n", err)
-		os.Exit(1)
+
+	fmt.Fprintf(os.Stderr, "%s\n", d.ComputeStats())
+	if err := write(d, format, *out); err != nil {
+		fail(err)
 	}
+}
+
+// write encodes d to path (stdout when empty), gzipping when the path
+// ends in .gz. File writes are atomic (dataset.WriteFileAtomic).
+func write(d *dataset.Dataset, format ingest.Format, path string) error {
+	if path == "" {
+		return format.Encode(os.Stdout, d)
+	}
+	return dataset.WriteFileAtomic(path, func(w io.Writer) error {
+		if strings.HasSuffix(path, ".gz") {
+			zw := gzip.NewWriter(w)
+			if err := format.Encode(zw, d); err != nil {
+				return err
+			}
+			return zw.Close()
+		}
+		return format.Encode(w, d)
+	})
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "pfgen: %v\n", err)
+	os.Exit(1)
 }
 
 func replaceGen(seed uint64) (*dataset.Dataset, []fmt.Stringer) {

@@ -12,13 +12,23 @@
 //	pfmine -algo maximal  -minsup 0.5 -budget 10s data.dat
 //	pfmine -algo topk     -k 20 -minlen 5 data.dat
 //
+// The input may be FIMI, CSV/basket (string item names), or a dense
+// binary matrix, optionally gzipped — the format is sniffed from the
+// extension and content, or forced with -format. The deterministic
+// transform flags (-sample, -rows, -items, -min-item-support, -remap)
+// shard and prune the dataset at ingestion; see docs/formats.md.
+//
+//	pfmine -algo fusion -format csv -minsup 0.05 baskets.csv.gz
+//	pfmine -algo eclat -sample 0.1 -min-item-support 50 huge.dat.gz
+//
 // Output: one pattern per line, "item item … # support=N size=M", largest
-// patterns first. Use -top to truncate the listing, -budget for a
-// deadline (partial results are reported), and -progress to stream
-// structured progress events to stderr. -parallelism sets the worker
-// count for every algorithm; results are bit-identical for any value.
-// Flags that the selected algorithm ignores are reported as warnings on
-// stderr (only explicitly passed flags count — defaults never warn).
+// patterns first (CSV inputs print item names). Use -top to truncate the
+// listing, -budget for a deadline (partial results are reported), and
+// -progress to stream structured progress events to stderr. -parallelism
+// sets the worker count for every algorithm; results are bit-identical
+// for any value. Flags that the selected algorithm ignores are reported
+// as warnings on stderr (only explicitly passed flags count — defaults
+// never warn).
 package main
 
 import (
@@ -30,9 +40,9 @@ import (
 	"strings"
 	"time"
 
-	"repro/internal/dataset"
 	"repro/internal/engine"
 	_ "repro/internal/engine/all"
+	"repro/internal/ingest"
 	"repro/internal/profiling"
 )
 
@@ -60,6 +70,8 @@ func main() {
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the mining run to this file")
 		memprof  = flag.String("memprofile", "", "write a heap profile (after mining) to this file")
 	)
+	var ing ingest.Flags
+	ing.Register(flag.CommandLine)
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: pfmine [flags] <dataset.dat>")
@@ -73,11 +85,13 @@ func main() {
 	stopProfiles := profiling.Start(*cpuprof, *memprof)
 	defer stopProfiles()
 
-	d, err := dataset.Load(flag.Arg(0))
+	res, err := ing.Load(flag.Arg(0))
 	if err != nil {
 		fail(err)
 	}
-	fmt.Fprintf(os.Stderr, "loaded: %s\n", d.ComputeStats())
+	d := res.Dataset
+	fmt.Fprintf(os.Stderr, "loaded: format=%s rows=%d/%d %s\n",
+		res.Format, res.RowsKept, res.RowsRead, d.ComputeStats())
 
 	ctx := context.Background()
 	if *budget > 0 {
@@ -131,6 +145,9 @@ func main() {
 		fail(err)
 	}
 	elapsed := time.Since(t0)
+	// A remapped ingestion mines on frequency-ordered IDs; translate the
+	// report back so the output speaks the source's item IDs.
+	rep = ingest.RemapReport(rep, res.Mapping)
 	for _, w := range rep.Warnings {
 		fmt.Fprintf(os.Stderr, "warning: %s\n", w)
 	}
@@ -146,7 +163,9 @@ func main() {
 	for _, p := range shown {
 		items := make([]string, len(p.Items))
 		for i, it := range p.Items {
-			items[i] = fmt.Sprint(it)
+			// CSV inputs carry a symbol table; numeric formats fall back
+			// to the decimal ID.
+			items[i] = res.Symbols.Symbol(it)
 		}
 		fmt.Printf("%s # support=%d size=%d\n", strings.Join(items, " "), p.Support(), len(p.Items))
 	}

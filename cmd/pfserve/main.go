@@ -18,7 +18,17 @@
 //	curl -s localhost:8080/jobs/job-1/result?top=5
 //	curl -s -X DELETE localhost:8080/jobs/job-1
 //
-// See internal/server for the full API.
+//	# upload a dataset once (gzip + CSV auto-detected), mine it by name
+//	curl -s -X PUT localhost:8080/datasets/census --data-binary @census.csv.gz
+//	curl -s localhost:8080/datasets
+//	curl -s localhost:8080/jobs -d '{
+//	  "algorithm": "fusion",
+//	  "dataset":   {"catalog": "census"},
+//	  "options":   {"min_support": 0.05, "k": 50}
+//	}'
+//
+// See internal/server for the full API and docs/formats.md for the
+// accepted dataset formats.
 package main
 
 import (
@@ -45,6 +55,7 @@ func main() {
 		maxCells = flag.Int("max-cells", 64<<20, "max dataset cells (|D|·|I|) per job; 0 = server default, negative = unlimited")
 		dataDir  = flag.String("data-dir", "", "directory for {\"path\": ...} dataset specs (empty disables them)")
 		maxPar   = flag.Int("max-parallelism", 0, "cap on each job's mining parallelism; 0 = GOMAXPROCS/workers, negative = uncapped")
+		maxUp    = flag.Int64("max-upload", 0, "max PUT /datasets/{name} body bytes; 0 = 32 MiB default, negative disables uploads")
 	)
 	flag.Parse()
 
@@ -55,6 +66,7 @@ func main() {
 		MaxCells:       *maxCells,
 		DataDir:        *dataDir,
 		MaxParallelism: *maxPar,
+		MaxUploadBytes: *maxUp,
 	})
 	srv := &http.Server{Addr: *addr, Handler: server.Handler(mgr)}
 

@@ -1,0 +1,89 @@
+// Ingest: the bring-your-own-data pipeline end to end. The example
+// generates a Quest-style basket workload, writes it as a *gzipped FIMI
+// file* (what you would download from the FIMI repository), ingests it
+// back through the streaming two-pass builder with a deterministic
+// sampling + pruning transform chain, and mines the result with two
+// algorithms from the engine registry.
+//
+// Run with: go run ./examples/ingest
+package main
+
+import (
+	"compress/gzip"
+	"context"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	_ "repro/internal/engine/all"
+	"repro/internal/ingest"
+	"repro/internal/rng"
+)
+
+func main() {
+	// A sparse basket workload: 5000 transactions of mean length 10
+	// over 400 items, with planted correlated patterns.
+	d := datagen.Quest(rng.New(42), datagen.QuestConfig{Txns: 5000, Items: 400})
+
+	// Write it the way real benchmark files ship: FIMI, gzipped.
+	dir, err := os.MkdirTemp("", "ingest-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "quest.dat.gz")
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	zw := gzip.NewWriter(f)
+	if err := d.Write(zw); err != nil {
+		log.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Ingest it back: gzip is detected by magic bytes, the format by
+	// extension, and the transform chain keeps a deterministic 50% row
+	// sample and drops items seen in fewer than 5 kept rows.
+	res, err := ingest.Load(path, ingest.Options{
+		Transforms: []ingest.Transform{
+			ingest.SampleRows(0.5, 7),
+			ingest.MinItemSupport(5),
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ingested %s: format=%s gzip=%v rows=%d/%d\n",
+		filepath.Base(path), res.Format, res.Gzipped, res.RowsKept, res.RowsRead)
+	fmt.Println("dataset:", res.Dataset.ComputeStats())
+
+	// Mine the ingested sample with two registered algorithms.
+	for _, name := range []string{"eclat", "fusion"} {
+		alg, err := engine.Get(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := alg.Mine(context.Background(), res.Dataset, engine.Options{
+			MinSupport: 0.02,
+			MaxSize:    3,  // read by eclat; fusion reports it as ignored
+			K:          10, // read by fusion; eclat reports it as ignored
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		largest := 0
+		if len(rep.Patterns) > 0 {
+			largest = len(rep.Patterns[0].Items)
+		}
+		fmt.Printf("%-8s %5d patterns, largest size %d\n", name, len(rep.Patterns), largest)
+	}
+}

@@ -1,0 +1,83 @@
+package datagen
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestQuestDeterministic(t *testing.T) {
+	cfg := QuestConfig{Txns: 500, Items: 100, AvgTxnLen: 8, AvgPatLen: 3, Patterns: 40, Corr: 0.5, Corrupt: 0.5}
+	a := Quest(rng.New(7), cfg)
+	b := Quest(rng.New(7), cfg)
+	if a.Size() != b.Size() {
+		t.Fatalf("sizes differ: %d vs %d", a.Size(), b.Size())
+	}
+	for i := 0; i < a.Size(); i++ {
+		if !a.Transaction(i).Equal(b.Transaction(i)) {
+			t.Fatalf("transaction %d differs: %v vs %v", i, a.Transaction(i), b.Transaction(i))
+		}
+	}
+	c := Quest(rng.New(8), cfg)
+	diff := false
+	for i := 0; i < a.Size() && !diff; i++ {
+		diff = !a.Transaction(i).Equal(c.Transaction(i))
+	}
+	if !diff {
+		t.Fatal("different seeds produced the identical dataset")
+	}
+}
+
+func TestQuestShape(t *testing.T) {
+	cfg := DefaultQuestConfig()
+	cfg.Txns = 2000
+	d := Quest(rng.New(1), cfg)
+	if d.Size() != cfg.Txns {
+		t.Fatalf("got %d transactions, want %d", d.Size(), cfg.Txns)
+	}
+	if d.NumItems() > cfg.Items {
+		t.Fatalf("universe %d exceeds configured %d items", d.NumItems(), cfg.Items)
+	}
+	s := d.ComputeStats()
+	// Corruption and the attempt budget pull the realized mean below the
+	// configured T; it must still land in the right ballpark.
+	if s.AvgTxnLen < cfg.AvgTxnLen/2 || s.AvgTxnLen > cfg.AvgTxnLen*2 {
+		t.Fatalf("average transaction length %.2f is far from T=%g", s.AvgTxnLen, cfg.AvgTxnLen)
+	}
+	if s.MinTxnLen < 1 {
+		t.Fatalf("empty transaction generated (min length %d)", s.MinTxnLen)
+	}
+	// The pattern pool must make some co-occurrence structure: at least
+	// one item pair supported well above the independence expectation.
+	// With T=10 over 1000 items, independent pairs co-occur in ~0.01% of
+	// rows; a planted pattern of weight ~1/L lands orders above that.
+	best := 0
+	freq := d.ItemFrequencies()
+	top := 0
+	for item, f := range freq {
+		if f > freq[top] {
+			top = item
+		}
+	}
+	for other := 0; other < d.NumItems(); other++ {
+		if other == top {
+			continue
+		}
+		if c := d.ItemTIDs(top).AndCount(d.ItemTIDs(other)); c > best {
+			best = c
+		}
+	}
+	if best < d.Size()/200 { // 0.5% co-occurrence
+		t.Fatalf("no correlated pair found: best co-occurrence %d of %d rows", best, d.Size())
+	}
+}
+
+func TestQuestDefaultsAppliedToZeroConfig(t *testing.T) {
+	d := Quest(rng.New(1), QuestConfig{Txns: 300})
+	if d.Size() != 300 {
+		t.Fatalf("got %d transactions, want 300", d.Size())
+	}
+	if d.NumItems() > DefaultQuestConfig().Items {
+		t.Fatalf("universe %d exceeds default item count", d.NumItems())
+	}
+}

@@ -65,6 +65,17 @@ func MustNew(transactions [][]int) *Dataset {
 	return d
 }
 
+// FromParts assembles a Dataset from already-canonical transactions and
+// a prebuilt vertical representation, without re-validating either — the
+// constructor for streaming builders (internal/ingest) that emit both
+// forms in one pass. The caller contract: every transactions[i] is
+// canonical (strictly increasing), every tidsets[j] has capacity
+// len(transactions), and tidsets[j].Test(i) holds iff transactions[i]
+// contains j. The item universe is len(tidsets).
+func FromParts(transactions []itemset.Itemset, tidsets []*bitset.Bitset) *Dataset {
+	return &Dataset{transactions: transactions, tidsets: tidsets, numItems: len(tidsets)}
+}
+
 func (d *Dataset) buildVertical() {
 	n := len(d.transactions)
 	d.tidsets = make([]*bitset.Bitset, d.numItems)

@@ -2,12 +2,19 @@ package dataset
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
+
+// MaxLineBytes bounds a single input line (16 MiB) in Read and in the
+// streaming decoders of internal/ingest — one shared budget, so the
+// in-memory and streaming FIMI paths reject the same inputs.
+const MaxLineBytes = 1 << 24
 
 // The on-disk format is the FIMI workshop format used by the miners the
 // paper compares against (FPClose, LCM2, TFP): one transaction per line,
@@ -18,7 +25,7 @@ import (
 func Read(r io.Reader) (*Dataset, error) {
 	var transactions [][]int
 	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	sc.Buffer(make([]byte, 0, 1<<20), MaxLineBytes)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
@@ -45,6 +52,11 @@ func Read(r io.Reader) (*Dataset, error) {
 		transactions = append(transactions, txn)
 	}
 	if err := sc.Err(); err != nil {
+		if errors.Is(err, bufio.ErrTooLong) {
+			// The scanner stops at the line it could not buffer, so the
+			// offending line is the one after the last delivered line.
+			return nil, fmt.Errorf("dataset: line %d: line exceeds the %d-byte limit: %w", lineNo+1, MaxLineBytes, err)
+		}
 		return nil, fmt.Errorf("dataset: read: %w", err)
 	}
 	return New(transactions)
@@ -85,15 +97,56 @@ func (d *Dataset) Write(w io.Writer) error {
 	return bw.Flush()
 }
 
-// Save writes the dataset to the named file in FIMI format.
+// Save writes the dataset to the named file in FIMI format, atomically:
+// see WriteFileAtomic.
 func (d *Dataset) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
+	return WriteFileAtomic(path, d.Write)
+}
+
+// WriteFileAtomic writes via fn to a temporary file in path's directory
+// and renames it over path only after a successful write and close, so
+// a mid-stream failure never truncates or corrupts an existing file.
+// Permissions match os.Create's behavior: a fresh file gets 0666
+// filtered by the umask, an existing target keeps its current mode.
+func WriteFileAtomic(path string, fn func(w io.Writer) error) (err error) {
+	mode := os.FileMode(0o666) // filtered by the umask at creation, like os.Create
+	preserve := false
+	if fi, serr := os.Stat(path); serr == nil {
+		mode = fi.Mode().Perm()
+		preserve = true
 	}
-	if err := d.Write(f); err != nil {
+	dir, base := filepath.Split(path)
+	var f *os.File
+	var tmp string
+	for i := 0; ; i++ {
+		tmp = filepath.Join(dir, fmt.Sprintf(".%s.tmp-%d-%d", base, os.Getpid(), i))
+		f, err = os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, mode)
+		if err == nil {
+			break
+		}
+		if !os.IsExist(err) || i >= 10000 {
+			return err
+		}
+	}
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
+	if err = fn(f); err != nil {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if preserve {
+		// Replacing an existing file keeps its exact mode; the umask
+		// filtered the creation mode above, chmod restores removed bits.
+		if err = f.Chmod(mode); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

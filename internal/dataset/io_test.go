@@ -1,7 +1,10 @@
 package dataset
 
 import (
+	"bufio"
 	"bytes"
+	"errors"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -71,5 +74,71 @@ func TestSaveLoad(t *testing.T) {
 func TestLoadMissingFile(t *testing.T) {
 	if _, err := Load(filepath.Join(t.TempDir(), "nope.dat")); err == nil {
 		t.Fatal("missing file loaded")
+	}
+}
+
+// TestReadTooLongLineReportsLineNumber pins the bugfix: a line beyond
+// the scanner budget surfaces bufio.ErrTooLong wrapped with the
+// offending line's number, not the bare bufio error.
+func TestReadTooLongLineReportsLineNumber(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("1 2\n7\n")
+	for sb.Len() < MaxLineBytes+16 {
+		sb.WriteString("8 ")
+	}
+	sb.WriteString("\n")
+	_, err := Read(strings.NewReader(sb.String()))
+	if err == nil {
+		t.Fatal("over-long line accepted")
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("error does not wrap bufio.ErrTooLong: %v", err)
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error does not name line 3: %v", err)
+	}
+}
+
+// TestSaveDoesNotTruncateOnFailure pins the bugfix: when the save cannot
+// complete (here: the target's directory vanished, so the temp file
+// cannot even be created), an existing destination file keeps its
+// content instead of being truncated first.
+func TestSaveDoesNotTruncateOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sub", "out.dat")
+	if err := os.Mkdir(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte("precious\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d := MustNew([][]int{{1}})
+	if err := d.Save(path); err != nil {
+		t.Fatalf("baseline save failed: %v", err)
+	}
+	// Now make the directory unwritable so the temp-file creation fails;
+	// the existing file must survive untouched.
+	if err := os.WriteFile(path, []byte("precious\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chmod(filepath.Dir(path), 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(filepath.Dir(path), 0o755)
+	err := d.Save(path)
+	if os.Getuid() == 0 {
+		// Root ignores directory permissions; the atomicity property is
+		// covered by the read-only-target test in internal/ingest.
+		t.Skip("running as root: unwritable-directory failure cannot be provoked")
+	}
+	if err == nil {
+		t.Fatal("save into an unwritable directory succeeded")
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "precious\n" {
+		t.Fatalf("existing file was clobbered by a failed save: %q", got)
 	}
 }

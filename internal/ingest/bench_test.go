@@ -1,0 +1,104 @@
+package ingest
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/rng"
+)
+
+// benchFiles lazily generates the shared ~100k-row Quest benchmark
+// inputs (plain FIMI, gzipped FIMI, CSV) once per process.
+var benchFiles struct {
+	once          sync.Once
+	dir           string
+	fimi, gz, csv string
+	rows          int
+	err           error
+}
+
+func benchSetup() error {
+	benchFiles.once.Do(func() {
+		cfg := datagen.DefaultQuestConfig()
+		cfg.Txns = 100000
+		d := datagen.Quest(rng.New(1), cfg)
+		benchFiles.rows = d.Size()
+
+		dir, err := os.MkdirTemp("", "ingest-bench-")
+		if err != nil {
+			benchFiles.err = err
+			return
+		}
+		benchFiles.dir = dir
+		benchFiles.fimi = filepath.Join(dir, "quest.dat")
+		benchFiles.gz = filepath.Join(dir, "quest.dat.gz")
+		benchFiles.csv = filepath.Join(dir, "quest.csv")
+
+		if benchFiles.err = d.Save(benchFiles.fimi); benchFiles.err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if err := d.Write(zw); err != nil {
+			benchFiles.err = err
+			return
+		}
+		if err := zw.Close(); err != nil {
+			benchFiles.err = err
+			return
+		}
+		if benchFiles.err = os.WriteFile(benchFiles.gz, buf.Bytes(), 0o644); benchFiles.err != nil {
+			return
+		}
+		// CSV with synthetic symbols ("i<item>") so the benchmark pays
+		// for real interning, not digit parsing.
+		var csv bytes.Buffer
+		for _, txn := range d.Transactions() {
+			for i, item := range txn {
+				if i > 0 {
+					csv.WriteByte(',')
+				}
+				fmt.Fprintf(&csv, "i%d", item)
+			}
+			csv.WriteByte('\n')
+		}
+		benchFiles.err = os.WriteFile(benchFiles.csv, csv.Bytes(), 0o644)
+	})
+	return benchFiles.err
+}
+
+// BenchmarkIngest measures the streaming two-pass ingestion of a
+// ~100k-row Quest file: plain FIMI vs gzip vs CSV. bytes/op and
+// allocs/op are the interesting columns — the builder must not
+// materialize [][]int.
+func BenchmarkIngest(b *testing.B) {
+	if err := benchSetup(); err != nil {
+		b.Fatal(err)
+	}
+	for _, bench := range []struct {
+		name, path string
+	}{
+		{"fimi", benchFiles.fimi},
+		{"gzip", benchFiles.gz},
+		{"csv", benchFiles.csv},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := Load(bench.path, Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Dataset.Size() != benchFiles.rows {
+					b.Fatalf("rows = %d, want %d", res.Dataset.Size(), benchFiles.rows)
+				}
+			}
+		})
+	}
+}

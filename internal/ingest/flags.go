@@ -1,0 +1,122 @@
+package ingest
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Flags is the shared ingestion CLI surface of pfmine, pfexp and pfgen:
+// format selection plus the deterministic transform pipeline. Register
+// it on a FlagSet, then build Options (or load directly) after parsing.
+type Flags struct {
+	// Format is the -format value ("" = sniff).
+	Format string
+	// Sample is the -sample row-keep probability (0 = keep all).
+	Sample float64
+	// SampleSeed seeds the deterministic sampling stream.
+	SampleSeed uint64
+	// MinItemSupport is the -min-item-support pruning threshold.
+	MinItemSupport int
+	// Rows is the -rows "lo:hi" horizontal shard.
+	Rows string
+	// Items is the -items "lo:hi" vertical shard.
+	Items string
+	// Remap is the -remap frequency-reorder toggle.
+	Remap bool
+}
+
+// Register installs the ingestion flags on fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Format, "format", "", "input format: fimi, csv, or matrix (default: sniff by extension/content; gzip always auto-detected)")
+	fs.Float64Var(&f.Sample, "sample", 0, "keep each row independently with this probability in (0,1); deterministic per -sample-seed")
+	fs.Uint64Var(&f.SampleSeed, "sample-seed", 1, "seed of the deterministic row-sampling stream")
+	fs.IntVar(&f.MinItemSupport, "min-item-support", 0, "drop items occurring in fewer than this many kept rows")
+	fs.StringVar(&f.Rows, "rows", "", `keep only the half-open row range "lo:hi" (horizontal shard; empty bound = open end)`)
+	fs.StringVar(&f.Items, "items", "", `keep only the half-open item-ID range "lo:hi" (vertical shard; empty bound = open end)`)
+	fs.BoolVar(&f.Remap, "remap", false, "renumber items in decreasing frequency order (pattern output is translated back to source IDs)")
+}
+
+// Options resolves the parsed flags into ingestion Options.
+func (f *Flags) Options() (Options, error) {
+	var opts Options
+	if f.Format != "" {
+		format, err := FormatByName(f.Format)
+		if err != nil {
+			return opts, err
+		}
+		opts.Format = format
+	}
+	transforms, err := f.Transforms()
+	if err != nil {
+		return opts, err
+	}
+	opts.Transforms = transforms
+	opts.Remap = f.Remap
+	return opts, nil
+}
+
+// Transforms builds the transform pipeline the flags describe, in the
+// fixed application order: row range, sampling, item range, minimum
+// item support. (Row filters and item filters commute within their
+// group, so the order only matters for documentation.)
+func (f *Flags) Transforms() ([]Transform, error) {
+	var out []Transform
+	if f.Rows != "" {
+		lo, hi, err := parseRange(f.Rows)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: -rows %q: %w", f.Rows, err)
+		}
+		out = append(out, RowRange(lo, hi))
+	}
+	if f.Sample != 0 {
+		if f.Sample < 0 || f.Sample > 1 {
+			return nil, fmt.Errorf("ingest: -sample must be in (0,1], got %g", f.Sample)
+		}
+		out = append(out, SampleRows(f.Sample, f.SampleSeed))
+	}
+	if f.Items != "" {
+		lo, hi, err := parseRange(f.Items)
+		if err != nil {
+			return nil, fmt.Errorf("ingest: -items %q: %w", f.Items, err)
+		}
+		out = append(out, ItemRange(lo, hi))
+	}
+	if f.MinItemSupport > 0 {
+		out = append(out, MinItemSupport(f.MinItemSupport))
+	}
+	return out, nil
+}
+
+// Load ingests the named file under the parsed flags.
+func (f *Flags) Load(path string) (*Result, error) {
+	opts, err := f.Options()
+	if err != nil {
+		return nil, err
+	}
+	return Load(path, opts)
+}
+
+// parseRange parses "lo:hi" with either side optional: "5:", ":9",
+// "2:9". An empty bound is the open end (lo 0, hi unbounded).
+func parseRange(s string) (lo, hi int, err error) {
+	parts := strings.SplitN(s, ":", 2)
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf(`want "lo:hi"`)
+	}
+	if parts[0] != "" {
+		if lo, err = strconv.Atoi(parts[0]); err != nil || lo < 0 {
+			return 0, 0, fmt.Errorf("bad lower bound %q", parts[0])
+		}
+	}
+	if parts[1] != "" {
+		if hi, err = strconv.Atoi(parts[1]); err != nil || hi < 0 {
+			return 0, 0, fmt.Errorf("bad upper bound %q", parts[1])
+		}
+		if hi <= lo {
+			return 0, 0, fmt.Errorf("empty range [%d:%d)", lo, hi)
+		}
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,50 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzRoundTrip asserts the parser contract on arbitrary input: decoding
+// never panics, and any input that decodes successfully survives a
+// decode→encode→decode round trip with an equal dataset.
+func fuzzRoundTrip(t *testing.T, data []byte, format func() Format) {
+	f1 := format()
+	res, err := FromBytes("fuzz-input", data, Options{Format: f1, MaxItem: 1 << 16})
+	if err != nil {
+		return // rejected input is fine; panicking or succeeding wrongly is not
+	}
+	var buf bytes.Buffer
+	if err := f1.Encode(&buf, res.Dataset); err != nil {
+		t.Fatalf("encode of a decoded dataset failed: %v", err)
+	}
+	res2, err := FromBytes("fuzz-round-trip", buf.Bytes(), Options{Format: format(), MaxItem: 1 << 16})
+	if err != nil {
+		t.Fatalf("re-decode of encoded dataset failed: %v\nencoded:\n%q", err, buf.Bytes())
+	}
+	if !datasetsEqual(res.Dataset, res2.Dataset) {
+		t.Fatalf("round trip changed the dataset\ninput: %q\nencoded: %q", data, buf.Bytes())
+	}
+}
+
+func FuzzReadFIMI(f *testing.F) {
+	f.Add([]byte("1 2 3\n"))
+	f.Add([]byte("# comment\n\n0\n5 5 5\n"))
+	f.Add([]byte("10 2\n\n\n7\n"))
+	f.Add([]byte("001 1\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip(t, data, FIMI)
+	})
+}
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add([]byte("milk,bread\nbread\n"))
+	f.Add([]byte("# c\na, b ,,c\n\n"))
+	f.Add([]byte("x,#y\nz,#y\n"))
+	f.Add([]byte("a\r\nb,a\r\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip(t, data, func() Format { return NewCSV() })
+	})
+}

@@ -1,0 +1,331 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	"repro/internal/itemset"
+)
+
+// DefaultMaxItem caps source item IDs (16M): the vertical representation
+// allocates per-universe-item state, so an absurd ID in a one-line file
+// must be a decode error, not an allocation.
+const DefaultMaxItem = 1 << 24
+
+// sniffBytes is how much of the (decompressed) stream SniffFormat sees.
+const sniffBytes = 4096
+
+// Options configures an ingestion run.
+type Options struct {
+	// Format forces the input format; nil sniffs it from the source name
+	// and content (see SniffFormat). Gzip is detected independently of
+	// the format, by magic bytes.
+	Format Format
+	// Transforms filter rows and items; see Transform.
+	Transforms []Transform
+	// Remap renumbers surviving items 0..n−1 in decreasing frequency
+	// order (ties by source ID). Result.Mapping records the renumbering.
+	Remap bool
+	// MaxItem rejects source item IDs above this bound; zero selects
+	// DefaultMaxItem, negative means unbounded.
+	MaxItem int
+}
+
+// Result is the outcome of an ingestion run.
+type Result struct {
+	// Dataset is the ingested transaction database.
+	Dataset *dataset.Dataset
+	// Format is the name of the format that decoded the source.
+	Format string
+	// Gzipped reports whether the source was gzip-compressed.
+	Gzipped bool
+	// Symbols is the CSV symbol table (item ID → symbol), nil for
+	// numeric formats. Its IDs are source IDs: apply Mapping first when
+	// the ingestion remapped.
+	Symbols *SymbolTable
+	// Mapping is the new→source item-ID translation of a remapped
+	// ingestion, nil otherwise. RemapReport uses it to translate mining
+	// reports back to source IDs.
+	Mapping []int
+	// SHA256 is the hex content hash of the raw (still-compressed)
+	// source bytes — the identity key of pfserve's dataset cache.
+	SHA256 string
+	// RowsRead counts decoded source rows; RowsKept counts rows that
+	// survived the transforms and are in Dataset.
+	RowsRead, RowsKept int
+}
+
+// Source supplies the raw bytes of one dataset, twice: the two-pass
+// builder opens it once per pass.
+type Source interface {
+	// Open returns a fresh reader positioned at the start of the source.
+	Open() (io.ReadCloser, error)
+	// Name is the source's display name; its extension participates in
+	// format sniffing.
+	Name() string
+}
+
+// FileSource returns a Source reading the named file.
+func FileSource(path string) Source { return fileSource(path) }
+
+type fileSource string
+
+func (f fileSource) Open() (io.ReadCloser, error) { return os.Open(string(f)) }
+func (f fileSource) Name() string                 { return string(f) }
+
+// BytesSource returns a Source over an in-memory buffer, e.g. an HTTP
+// upload body. name is used for sniffing and error messages.
+func BytesSource(name string, data []byte) Source {
+	return &bytesSource{name: name, data: data}
+}
+
+type bytesSource struct {
+	name string
+	data []byte
+}
+
+func (b *bytesSource) Open() (io.ReadCloser, error) {
+	return io.NopCloser(bytes.NewReader(b.data)), nil
+}
+func (b *bytesSource) Name() string { return b.name }
+
+// Load ingests the named file.
+func Load(path string, opts Options) (*Result, error) {
+	return Ingest(FileSource(path), opts)
+}
+
+// FromBytes ingests an in-memory buffer.
+func FromBytes(name string, data []byte, opts Options) (*Result, error) {
+	return Ingest(BytesSource(name, data), opts)
+}
+
+// Ingest runs the two-pass streaming builder over src. Pass one decodes
+// every row, applies the row transforms, and accumulates per-item
+// support counts (plus the content hash); pass two re-decodes and emits
+// the canonical transactions and per-item column bitsets directly into
+// the final Dataset — the raw [][]int intermediate is never built.
+func Ingest(src Source, opts Options) (*Result, error) {
+	if opts.MaxItem == 0 {
+		opts.MaxItem = DefaultMaxItem
+	}
+	res := &Result{}
+
+	// Pass 1: frequencies, row counts, content hash, format resolution.
+	format := opts.Format
+	var freq []int
+	scratch := make([]int, 0, 64)
+	hasher := sha256.New()
+	err := pass(src, hasher, func(rdr *bufio.Reader, gzipped bool) error {
+		res.Gzipped = gzipped
+		if format == nil {
+			head, err := rdr.Peek(sniffBytes)
+			if err != nil && err != io.EOF && err != bufio.ErrBufferFull {
+				return err
+			}
+			format = SniffFormat(src.Name(), head)
+		}
+		dec := format.NewDecoder(rdr)
+		for {
+			items, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			row := res.RowsRead
+			res.RowsRead++
+			if !keepRow(opts.Transforms, row) {
+				continue
+			}
+			res.RowsKept++
+			// Count each item once per row: support is row membership,
+			// not occurrence count.
+			scratch = append(scratch[:0], items...)
+			sort.Ints(scratch)
+			prev := -1
+			for _, item := range scratch {
+				if item == prev {
+					continue
+				}
+				prev = item
+				if opts.MaxItem > 0 && item > opts.MaxItem {
+					return fmt.Errorf("row %d: item %d exceeds the %d item-ID cap", row, item, opts.MaxItem)
+				}
+				for item >= len(freq) {
+					freq = append(freq, make([]int, len(freq)+64)...)
+				}
+				freq[item]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %s: %w", src.Name(), err)
+	}
+	// pass drained the raw stream, so the hash covers the whole source.
+	res.SHA256 = hex.EncodeToString(hasher.Sum(nil))
+	res.Format = format.Name()
+	if c, ok := format.(*CSV); ok {
+		res.Symbols = c.Table
+	}
+
+	plan := planItems(freq, opts.Transforms, opts.Remap)
+	res.Mapping = plan.mapping
+
+	// Pass 2: emit canonical transactions and column bitsets.
+	txns := make([]itemset.Itemset, 0, res.RowsKept)
+	tidsets := make([]*bitset.Bitset, plan.universe)
+	for i := range tidsets {
+		tidsets[i] = bitset.New(res.RowsKept)
+	}
+	row := 0
+	err = pass(src, nil, func(rdr *bufio.Reader, _ bool) error {
+		dec := format.NewDecoder(rdr)
+		for {
+			items, err := dec.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return err
+			}
+			keep := keepRow(opts.Transforms, row)
+			row++
+			if !keep {
+				continue
+			}
+			scratch = scratch[:0]
+			for _, item := range items {
+				if item >= len(plan.translate) {
+					return fmt.Errorf("source changed between passes (new item %d)", item)
+				}
+				if nt := plan.translate[item]; nt >= 0 {
+					scratch = append(scratch, nt)
+				}
+			}
+			txn := itemset.Canonical(scratch)
+			tid := len(txns)
+			if tid >= res.RowsKept {
+				return fmt.Errorf("source changed between passes (extra row)")
+			}
+			txns = append(txns, txn)
+			for _, item := range txn {
+				tidsets[item].Set(tid)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ingest: %s: %w", src.Name(), err)
+	}
+	if len(txns) != res.RowsKept {
+		return nil, fmt.Errorf("ingest: %s: source changed between passes (%d rows, then %d)", src.Name(), res.RowsKept, len(txns))
+	}
+	res.Dataset = dataset.FromParts(txns, tidsets)
+	return res, nil
+}
+
+// pass opens src once, arranges hashing (of the raw bytes) and
+// transparent gunzip, and hands the decompressed stream to fn. When
+// hasher is non-nil the remaining raw bytes are drained after fn so the
+// hash always covers the whole source.
+func pass(src Source, hasher hash.Hash, fn func(rdr *bufio.Reader, gzipped bool) error) error {
+	rc, err := src.Open()
+	if err != nil {
+		return err
+	}
+	defer rc.Close()
+	var raw io.Reader = rc
+	if hasher != nil {
+		raw = io.TeeReader(rc, hasher)
+	}
+	br := bufio.NewReaderSize(raw, 64<<10)
+	stream, gzipped, err := maybeGunzip(br)
+	if err != nil {
+		return err
+	}
+	rdr, ok := stream.(*bufio.Reader)
+	if !ok {
+		rdr = bufio.NewReaderSize(stream, 64<<10)
+	}
+	if err := fn(rdr, gzipped); err != nil {
+		return err
+	}
+	if hasher != nil {
+		// The decoder may not have pulled the final raw bytes through
+		// the tee (gzip trailers, buffered read-ahead): drain them.
+		if _, err := io.Copy(io.Discard, br); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// maybeGunzip inspects the stream's magic bytes and transparently
+// unwraps gzip. Streams shorter than two bytes pass through unchanged.
+func maybeGunzip(br *bufio.Reader) (io.Reader, bool, error) {
+	head, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, false, err
+	}
+	if len(head) == 2 && head[0] == 0x1f && head[1] == 0x8b {
+		zr, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, false, err
+		}
+		return zr, true, nil
+	}
+	return br, false, nil
+}
+
+// HashFile returns the hex SHA-256 of the named file's raw bytes — the
+// same identity Ingest reports in Result.SHA256, computable without a
+// parse. pfserve hashes -data-dir files with it to probe its dataset
+// cache before paying for ingestion.
+func HashFile(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// RemapReport translates a mining report produced on a remapped
+// ingestion back to source item IDs using Result.Mapping, re-sorting the
+// patterns into the canonical report order. A nil mapping (ingestion
+// without remap) returns rep unchanged. Supports, counters and warnings
+// are preserved, so for any complete (label-independent) miner the
+// translated report is byte-identical to mining the unmapped dataset.
+func RemapReport(rep *engine.Report, mapping []int) *engine.Report {
+	if mapping == nil {
+		return rep
+	}
+	out := *rep
+	out.Patterns = make([]*dataset.Pattern, len(rep.Patterns))
+	for i, p := range rep.Patterns {
+		raw := make([]int, len(p.Items))
+		for j, item := range p.Items {
+			raw[j] = mapping[item]
+		}
+		out.Patterns[i] = dataset.NewPatternCounted(itemset.Canonical(raw), p.TIDs, p.Support())
+	}
+	dataset.SortPatterns(out.Patterns)
+	return &out
+}

@@ -1,0 +1,277 @@
+package server
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"regexp"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/ingest"
+)
+
+// Catalog is pfserve's in-memory dataset store: named, parsed datasets
+// uploaded once and referenced by job specs, deduplicated by content
+// hash. Two layers share one mutex:
+//
+//   - entries: name → DatasetEntry, the user-visible catalog;
+//   - cache: (sha256, format) → parsed *dataset.Dataset, so re-uploading
+//     identical content under another name, or re-running a job against
+//     the same -data-dir file, reuses the parsed dataset instead of
+//     parsing (and storing) it again.
+//
+// The cache is bounded (insertion-order eviction); catalog entries pin
+// their dataset regardless of cache eviction. Everything is in-memory:
+// the catalog does not survive a server restart, by design — it is a
+// working set, not a storage system.
+type Catalog struct {
+	mu       sync.Mutex
+	entries  map[string]*DatasetEntry
+	cache    map[string]*parsedDataset
+	cacheKey []string // insertion order, for eviction
+	hits     int
+	maxCells int
+}
+
+// parsedDataset is one content-hash cache value: the parsed dataset plus
+// the ingestion facts an entry needs, so a cache hit can skip the parse
+// entirely.
+type parsedDataset struct {
+	ds      *dataset.Dataset
+	format  string
+	gzipped bool
+}
+
+// catalogCacheSize bounds the content-hash cache (parsed datasets kept
+// beyond the named entries, e.g. for path jobs).
+const catalogCacheSize = 32
+
+// maxCatalogEntries bounds the number of named entries: each pins a
+// parsed dataset (up to the cell cap) regardless of cache eviction, so
+// the entry count is the remaining lever on server memory.
+const maxCatalogEntries = 256
+
+// nameRE constrains dataset names to path- and URL-safe tokens.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,127}$`)
+
+// DatasetEntry describes one named catalog dataset.
+type DatasetEntry struct {
+	// Name is the catalog key.
+	Name string `json:"name"`
+	// Format is the format that decoded the upload.
+	Format string `json:"format"`
+	// Gzipped reports whether the upload was gzip-compressed.
+	Gzipped bool `json:"gzipped"`
+	// SHA256 is the hex content hash of the raw upload — the cache key.
+	SHA256 string `json:"sha256"`
+	// Bytes is the raw upload size.
+	Bytes int64 `json:"bytes"`
+	// Rows, Items, Density and AvgTxnLen summarize the parsed dataset
+	// (Density = item occurrences / (rows·universe)).
+	Rows      int     `json:"rows"`
+	Items     int     `json:"items"`
+	Density   float64 `json:"density"`
+	AvgTxnLen float64 `json:"avg_txn_len"`
+	// Cached reports whether the upload was served from the content-hash
+	// cache instead of being parsed.
+	Cached bool `json:"cached"`
+	// Created is the upload time.
+	Created time.Time `json:"created_at"`
+
+	ds *dataset.Dataset
+}
+
+// NewCatalog returns an empty catalog whose datasets are bounded by
+// maxCells (see Config.MaxCells).
+func NewCatalog(maxCells int) *Catalog {
+	return &Catalog{
+		entries:  make(map[string]*DatasetEntry),
+		cache:    make(map[string]*parsedDataset),
+		maxCells: maxCells,
+	}
+}
+
+// Put parses data (format "" sniffs; gzip auto-detected) and stores it
+// under name, replacing any existing entry. The raw bytes are hashed
+// first and identical content already in the cache skips the parse
+// entirely. It returns the entry and whether an entry was replaced.
+func (c *Catalog) Put(name, format string, data []byte) (*DatasetEntry, bool, error) {
+	if !nameRE.MatchString(name) {
+		return nil, false, fmt.Errorf("server: invalid dataset name %q (want %s)", name, nameRE)
+	}
+	sum := fmt.Sprintf("%x", sha256.Sum256(data))
+	key := cacheKey(sum, format)
+	c.mu.Lock()
+	parsed, cached := c.cache[key]
+	if cached {
+		c.hits++
+	}
+	c.mu.Unlock()
+
+	if !cached {
+		var opts ingest.Options
+		if format != "" {
+			f, err := ingest.FormatByName(format)
+			if err != nil {
+				return nil, false, err
+			}
+			opts.Format = f
+		}
+		res, err := ingest.FromBytes(name, data, opts)
+		if err != nil {
+			return nil, false, err
+		}
+		if overCellCap(res.Dataset.Size(), res.Dataset.NumItems(), c.maxCells) {
+			return nil, false, fmt.Errorf("server: dataset of %d×%d exceeds the %d-cell cap",
+				res.Dataset.Size(), res.Dataset.NumItems(), c.maxCells)
+		}
+		parsed = &parsedDataset{ds: res.Dataset, format: res.Format, gzipped: res.Gzipped}
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// A concurrent Put may have inserted the same content while we
+	// parsed; prefer the resident copy so equal-content entries always
+	// share one dataset.
+	if resident, ok := c.cache[key]; ok {
+		parsed = resident
+	} else {
+		c.cacheAdd(key, parsed)
+	}
+	_, exists := c.entries[name]
+	if !exists && len(c.entries) >= maxCatalogEntries {
+		return nil, false, fmt.Errorf("server: catalog is full (%d entries); delete one first", maxCatalogEntries)
+	}
+	stats := parsed.ds.ComputeStats()
+	entry := &DatasetEntry{
+		Name:      name,
+		Format:    parsed.format,
+		Gzipped:   parsed.gzipped,
+		SHA256:    sum,
+		Bytes:     int64(len(data)),
+		Rows:      stats.Transactions,
+		Items:     stats.UniverseSize,
+		Density:   density(stats),
+		AvgTxnLen: stats.AvgTxnLen,
+		Cached:    cached,
+		Created:   time.Now(),
+		ds:        parsed.ds,
+	}
+	c.entries[name] = entry
+	return entry, exists, nil
+}
+
+// Get returns the named entry.
+func (c *Catalog) Get(name string) (*DatasetEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	return e, ok
+}
+
+// Dataset returns the parsed dataset of the named entry.
+func (c *Catalog) Dataset(name string) (*dataset.Dataset, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown catalog dataset %q", name)
+	}
+	return e.ds, nil
+}
+
+// Delete removes the named entry (its dataset may live on in the
+// content-hash cache until evicted).
+func (c *Catalog) Delete(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.entries[name]
+	delete(c.entries, name)
+	return ok
+}
+
+// List returns all entries sorted by name.
+func (c *Catalog) List() []*DatasetEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*DatasetEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Hits returns how many parses the content-hash cache has saved.
+func (c *Catalog) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// LoadPath ingests a -data-dir file with content-hash reuse: the file is
+// hashed first (a cheap IO pass), and a cache hit skips parsing — this
+// is what makes repeated path jobs against the same file cheap.
+func (c *Catalog) LoadPath(full, format string) (*dataset.Dataset, error) {
+	var opts ingest.Options
+	if format != "" {
+		f, err := ingest.FormatByName(format)
+		if err != nil {
+			return nil, err
+		}
+		opts.Format = f
+	}
+	sum, err := ingest.HashFile(full)
+	if err != nil {
+		return nil, err
+	}
+	key := cacheKey(sum, format)
+	c.mu.Lock()
+	if parsed, ok := c.cache[key]; ok {
+		c.hits++
+		c.mu.Unlock()
+		return parsed.ds, nil
+	}
+	c.mu.Unlock()
+
+	res, err := ingest.Load(full, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	// The file may have changed between the hash probe and the parse;
+	// cache under the hash of the bytes actually parsed, never the
+	// possibly-stale probe key.
+	c.cacheAdd(cacheKey(res.SHA256, format), &parsedDataset{ds: res.Dataset, format: res.Format, gzipped: res.Gzipped})
+	c.mu.Unlock()
+	return res.Dataset, nil
+}
+
+// cacheAdd inserts under the catalog lock, evicting the oldest insertion
+// beyond catalogCacheSize.
+func (c *Catalog) cacheAdd(key string, parsed *parsedDataset) {
+	if _, ok := c.cache[key]; ok {
+		return
+	}
+	c.cache[key] = parsed
+	c.cacheKey = append(c.cacheKey, key)
+	if len(c.cacheKey) > catalogCacheSize {
+		evict := c.cacheKey[0]
+		c.cacheKey = c.cacheKey[1:]
+		delete(c.cache, evict)
+	}
+}
+
+// cacheKey combines content hash and requested format: the same bytes
+// parsed as CSV and as FIMI are different datasets.
+func cacheKey(sha, format string) string { return sha + "|" + format }
+
+// density is the filled fraction of the |D|×|I| cell grid.
+func density(s dataset.Stats) float64 {
+	if s.Transactions == 0 || s.UniverseSize == 0 {
+		return 0
+	}
+	return float64(s.TotalItemOccur) / (float64(s.Transactions) * float64(s.UniverseSize))
+}

@@ -1,0 +1,272 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newCatalogServer(t *testing.T, cfg Config) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := NewManager(cfg)
+	t.Cleanup(m.Close)
+	srv := httptest.NewServer(Handler(m))
+	t.Cleanup(srv.Close)
+	return m, srv
+}
+
+func putDataset(t *testing.T, srv *httptest.Server, name, query string, body []byte) (*http.Response, DatasetEntry) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/datasets/"+name+query, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var entry DatasetEntry
+	if resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(&entry); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, entry
+}
+
+// waitJobDone submits spec and polls it to a terminal state, returning
+// the result payload.
+func runJob(t *testing.T, srv *httptest.Server, spec string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/jobs", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish in time")
+		}
+		r, err := http.Get(srv.URL + "/jobs/" + sub.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var snap struct {
+			State State  `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&snap); err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if snap.State.Terminal() {
+			if snap.State != StateDone {
+				t.Fatalf("job ended %s: %s", snap.State, snap.Error)
+			}
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	r, err := http.Get(srv.URL + "/jobs/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var result map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&result); err != nil {
+		t.Fatal(err)
+	}
+	return result
+}
+
+// TestCatalogUploadListAndMine is the catalog happy path: upload (plain
+// and gzipped, FIMI and CSV), list with stats, mine by name, and get the
+// same answer as an inline job over the same data.
+func TestCatalogUploadListAndMine(t *testing.T) {
+	_, srv := newCatalogServer(t, Config{Workers: 1})
+
+	fimi := []byte("0 1 2\n0 1 2\n0 1\n2\n")
+	resp, entry := putDataset(t, srv, "tiny", "", fimi)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT status %d, want 201", resp.StatusCode)
+	}
+	if entry.Rows != 4 || entry.Items != 3 || entry.Format != "fimi" || entry.Cached {
+		t.Fatalf("entry = %+v", entry)
+	}
+	wantDensity := 9.0 / 12.0
+	if entry.Density < wantDensity-1e-9 || entry.Density > wantDensity+1e-9 {
+		t.Fatalf("density = %g, want %g", entry.Density, wantDensity)
+	}
+
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write([]byte("milk,bread\nmilk,bread\nmilk\n")); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	resp, entry = putDataset(t, srv, "basket", "?format=csv", gz.Bytes())
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT basket status %d", resp.StatusCode)
+	}
+	if entry.Format != "csv" || !entry.Gzipped || entry.Rows != 3 || entry.Items != 2 {
+		t.Fatalf("basket entry = %+v", entry)
+	}
+
+	r, err := http.Get(srv.URL + "/datasets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var listing struct {
+		Datasets  []DatasetEntry `json:"datasets"`
+		CacheHits int            `json:"cache_hits"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&listing); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if len(listing.Datasets) != 2 || listing.Datasets[0].Name != "basket" || listing.Datasets[1].Name != "tiny" {
+		t.Fatalf("listing = %+v", listing)
+	}
+
+	byName := runJob(t, srv, `{"algorithm":"eclat","dataset":{"catalog":"tiny"},"options":{"min_count":2}}`)
+	inline := runJob(t, srv, `{"algorithm":"eclat","dataset":{"transactions":[[0,1,2],[0,1,2],[0,1],[2]]},"options":{"min_count":2}}`)
+	a, _ := json.Marshal(byName["patterns"])
+	b, _ := json.Marshal(inline["patterns"])
+	if !bytes.Equal(a, b) || byName["total_patterns"] != inline["total_patterns"] {
+		t.Fatalf("catalog job and inline job disagree:\n%s\n%s", a, b)
+	}
+}
+
+// TestCatalogSHA256Reuse pins the content-hash cache contract: the same
+// bytes uploaded under two names are parsed once and the two entries
+// share one *dataset.Dataset; changed bytes are parsed fresh.
+func TestCatalogSHA256Reuse(t *testing.T) {
+	m, srv := newCatalogServer(t, Config{Workers: 1})
+
+	data := []byte("0 1\n1 2\n0 2\n")
+	if resp, _ := putDataset(t, srv, "first", "", data); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT first failed: %d", resp.StatusCode)
+	}
+	resp, entry := putDataset(t, srv, "second", "", data)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("PUT second failed: %d", resp.StatusCode)
+	}
+	if !entry.Cached {
+		t.Fatal("identical re-upload was parsed instead of served from the cache")
+	}
+	if m.Catalog().Hits() != 1 {
+		t.Fatalf("cache hits = %d, want 1", m.Catalog().Hits())
+	}
+	e1, _ := m.Catalog().Get("first")
+	e2, _ := m.Catalog().Get("second")
+	if e1.SHA256 != e2.SHA256 {
+		t.Fatalf("hashes differ: %s vs %s", e1.SHA256, e2.SHA256)
+	}
+	if e1.ds != e2.ds {
+		t.Fatal("entries with identical content do not share the parsed dataset")
+	}
+
+	if resp, entry := putDataset(t, srv, "third", "", []byte("5 6\n")); resp.StatusCode != http.StatusCreated || entry.Cached {
+		t.Fatalf("different content must parse fresh: status=%d cached=%v", resp.StatusCode, entry.Cached)
+	}
+
+	// Same bytes under a different forced format are a different dataset.
+	if _, entry := putDataset(t, srv, "ascsv", "?format=csv", data); entry.Cached {
+		t.Fatal("same bytes under another format must not hit the fimi cache entry")
+	}
+}
+
+func TestCatalogValidationAndCaps(t *testing.T) {
+	_, srv := newCatalogServer(t, Config{Workers: 1, MaxUploadBytes: 64})
+
+	if resp, _ := putDataset(t, srv, "-bad-leading-dash", "", []byte("1\n")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid name: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := putDataset(t, srv, "x", "?format=nope", []byte("1\n")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown format: status %d, want 400", resp.StatusCode)
+	}
+	big := bytes.Repeat([]byte("1 2 3\n"), 100)
+	if resp, _ := putDataset(t, srv, "big", "", big); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized upload: status %d, want 413", resp.StatusCode)
+	}
+
+	// Jobs referencing unknown catalog names are rejected at submission.
+	resp, err := http.Post(srv.URL+"/jobs", "application/json",
+		strings.NewReader(`{"algorithm":"eclat","dataset":{"catalog":"ghost"}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown catalog job: status %d, want 400", resp.StatusCode)
+	}
+
+	// Delete works and is reflected in the listing.
+	if resp, _ := putDataset(t, srv, "gone", "", []byte("1 2\n")); resp.StatusCode != http.StatusCreated {
+		t.Fatal("setup PUT failed")
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/datasets/gone", nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status %d", dresp.StatusCode)
+	}
+	if dresp, err = http.DefaultClient.Do(req); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("second DELETE status %d, want 404", dresp.StatusCode)
+	}
+}
+
+// TestJobTransformSpec exercises the transform pipeline through the job
+// API: a row-sharded diag job sees only the sharded rows.
+func TestJobTransformSpec(t *testing.T) {
+	_, srv := newCatalogServer(t, Config{Workers: 1})
+	full := runJob(t, srv, `{"algorithm":"apriori","dataset":{"generator":"diag","n":8},"options":{"min_count":1,"max_size":1}}`)
+	sharded := runJob(t, srv, `{"algorithm":"apriori","dataset":{"generator":"diag","n":8,"transform":{"row_lo":0,"row_hi":4}},"options":{"min_count":1,"max_size":1}}`)
+	if full["total_patterns"] != float64(8) {
+		t.Fatalf("full diag singletons = %v, want 8", full["total_patterns"])
+	}
+	// Rows 0..3 of Diag8 still contain every item, but supports shrink.
+	if sharded["total_patterns"] != float64(8) {
+		t.Fatalf("sharded diag singletons = %v, want 8", sharded["total_patterns"])
+	}
+	pats := sharded["patterns"].([]any)
+	for _, p := range pats {
+		sup := p.(map[string]any)["support"].(float64)
+		if sup > 4 {
+			t.Fatalf("sharded support %v exceeds the 4 kept rows", sup)
+		}
+	}
+	_ = fmt.Sprintf("%v", full)
+}
+
+func TestQuestGeneratorJob(t *testing.T) {
+	_, srv := newCatalogServer(t, Config{Workers: 1})
+	res := runJob(t, srv, `{"algorithm":"eclat","dataset":{"generator":"quest","txns":500,"items":80,"seed":3},"options":{"min_support":0.05,"max_size":2}}`)
+	if res["total_patterns"].(float64) < 1 {
+		t.Fatalf("quest job mined nothing: %v", res["total_patterns"])
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 
@@ -27,6 +28,17 @@ const MaxBodyBytes = 32 << 20
 //	                         409 while the job is still active
 //	DELETE /jobs/{id}        cancel an active job (202) or remove a
 //	                         terminal one (200)
+//	PUT    /datasets/{name}  upload a dataset (body = file bytes, gzip
+//	                         auto-detected; ?format= forces fimi/csv/
+//	                         matrix); 201 on create, 200 on replace
+//	GET    /datasets         catalog listing with per-dataset stats and
+//	                         the content-hash cache hit count
+//	GET    /datasets/{name}  one catalog entry
+//	DELETE /datasets/{name}  remove a catalog entry
+//
+// Job specs reference uploads as {"dataset": {"catalog": "<name>"}};
+// the parsed dataset is shared across jobs and deduplicated by content
+// hash.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -109,6 +121,55 @@ func Handler(m *Manager) http.Handler {
 			return
 		}
 		writeError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+	})
+	mux.HandleFunc("PUT /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		if m.cfg.MaxUploadBytes < 0 {
+			writeError(w, http.StatusForbidden, fmt.Errorf("dataset uploads are disabled"))
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, m.cfg.MaxUploadBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("upload exceeds the %d-byte cap", m.cfg.MaxUploadBytes))
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		entry, replaced, err := m.Catalog().Put(r.PathValue("name"), r.URL.Query().Get("format"), body)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		status := http.StatusCreated
+		if replaced {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, entry)
+	})
+	mux.HandleFunc("GET /datasets", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"datasets":   m.Catalog().List(),
+			"cache_hits": m.Catalog().Hits(),
+		})
+	})
+	mux.HandleFunc("GET /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		entry, ok := m.Catalog().Get(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset"))
+			return
+		}
+		writeJSON(w, http.StatusOK, entry)
+	})
+	mux.HandleFunc("DELETE /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if !m.Catalog().Delete(name) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset"))
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"name": name, "deleted": true})
 	})
 	return mux
 }

@@ -71,6 +71,9 @@ type Config struct {
 	// MaxEvents bounds the per-job event log; older events are dropped
 	// (the log keeps a running first-sequence offset). Defaults to 1024.
 	MaxEvents int
+	// MaxUploadBytes caps one PUT /datasets/{name} body. Defaults to
+	// 32 MiB; negative disables uploads.
+	MaxUploadBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +91,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEvents <= 0 {
 		c.MaxEvents = 1024
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = MaxBodyBytes
 	}
 	if c.MaxParallelism == 0 {
 		c.MaxParallelism = runtime.GOMAXPROCS(0) / c.Workers
@@ -117,29 +123,35 @@ type Job struct {
 	userCancel bool
 }
 
-// Manager owns the job table, the bounded queue, and the worker pool.
+// Manager owns the job table, the bounded queue, the worker pool, and
+// the dataset catalog.
 type Manager struct {
-	cfg   Config
-	mu    sync.Mutex
-	cond  *sync.Cond // broadcast on any job state/event change
-	jobs  map[string]*Job
-	queue chan *Job
-	next  int
-	wg    sync.WaitGroup
-	root  context.Context
-	stop  context.CancelFunc
+	cfg     Config
+	catalog *Catalog
+	mu      sync.Mutex
+	cond    *sync.Cond // broadcast on any job state/event change
+	jobs    map[string]*Job
+	queue   chan *Job
+	next    int
+	wg      sync.WaitGroup
+	root    context.Context
+	stop    context.CancelFunc
 }
+
+// Catalog returns the manager's dataset catalog.
+func (m *Manager) Catalog() *Catalog { return m.catalog }
 
 // NewManager starts a manager with cfg.Workers runner goroutines.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	root, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:   cfg,
-		jobs:  make(map[string]*Job),
-		queue: make(chan *Job, cfg.QueueDepth),
-		root:  root,
-		stop:  stop,
+		cfg:     cfg,
+		catalog: NewCatalog(cfg.MaxCells),
+		jobs:    make(map[string]*Job),
+		queue:   make(chan *Job, cfg.QueueDepth),
+		root:    root,
+		stop:    stop,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -167,7 +179,7 @@ func (m *Manager) Close() {
 // Submit validates spec and enqueues a new job. It returns an error when
 // the spec is invalid; a full queue returns ErrQueueFull.
 func (m *Manager) Submit(spec JobSpec) (*Job, error) {
-	if err := spec.validate(m.cfg); err != nil {
+	if err := spec.validate(m.cfg, m.catalog); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
@@ -312,7 +324,7 @@ func (m *Manager) mine(ctx context.Context, j *Job) (rep *engine.Report, err err
 	if err != nil {
 		return nil, err
 	}
-	d, err := j.Spec.Dataset.build(m.cfg)
+	d, err := j.Spec.Dataset.build(m.cfg, m.catalog)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"strings"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/ingest"
 	"repro/internal/rng"
 )
 
@@ -31,7 +33,7 @@ func (s JobSpec) timeout() time.Duration {
 	return time.Duration(s.TimeoutMS) * time.Millisecond
 }
 
-func (s JobSpec) validate(cfg Config) error {
+func (s JobSpec) validate(cfg Config, cat *Catalog) error {
 	if _, err := engine.Get(s.Algorithm); err != nil {
 		return err
 	}
@@ -41,30 +43,110 @@ func (s JobSpec) validate(cfg Config) error {
 	if s.Options.Parallelism < 0 {
 		return fmt.Errorf("server: parallelism must be >= 0, got %d", s.Options.Parallelism)
 	}
-	return s.Dataset.validate(cfg)
+	return s.Dataset.validate(cfg, cat)
 }
 
 // DatasetSpec selects exactly one dataset source: inline transactions, a
-// FIMI file under the server's data directory, or one of the paper's
-// generators.
+// FIMI/CSV/matrix file under the server's data directory, a named
+// catalog dataset (see PUT /datasets/{name}), or one of the generators.
+// An optional Transform shards or samples the materialized dataset.
 type DatasetSpec struct {
 	// Transactions is an inline transaction database (non-negative item
 	// IDs; the request body size cap bounds it).
 	Transactions [][]int `json:"transactions,omitempty"`
-	// Path is a FIMI-format file resolved inside the server's -data-dir;
-	// rejected when the server runs without one.
+	// Path is a dataset file resolved inside the server's -data-dir;
+	// rejected when the server runs without one. Gzip is auto-detected;
+	// Format forces the format (default: sniffed).
 	Path string `json:"path,omitempty"`
+	// Catalog names a dataset uploaded to the catalog; the parsed
+	// dataset is reused across jobs (content-hash keyed).
+	Catalog string `json:"catalog,omitempty"`
+	// Format optionally forces the format of a Path dataset: "fimi",
+	// "csv", or "matrix".
+	Format string `json:"format,omitempty"`
 	// Generator is one of "diag", "diagplus", "random", "replace",
-	// "microarray" (the Section 6 workloads), parameterized by the fields
-	// below.
+	// "microarray", "quest" (the Section 6 workloads plus the classic
+	// sparse benchmark), parameterized by the fields below.
 	Generator string  `json:"generator,omitempty"`
-	N         int     `json:"n,omitempty"`          // diag/diagplus: matrix size
-	ExtraRows int     `json:"extra_rows,omitempty"` // diagplus
-	ExtraCols int     `json:"extra_cols,omitempty"` // diagplus
-	Txns      int     `json:"txns,omitempty"`       // random
-	Items     int     `json:"items,omitempty"`      // random
-	Density   float64 `json:"density,omitempty"`    // random
-	Seed      uint64  `json:"seed,omitempty"`       // random/replace/microarray
+	N         int     `json:"n,omitempty"`           // diag/diagplus: matrix size
+	ExtraRows int     `json:"extra_rows,omitempty"`  // diagplus
+	ExtraCols int     `json:"extra_cols,omitempty"`  // diagplus
+	Txns      int     `json:"txns,omitempty"`        // random/quest
+	Items     int     `json:"items,omitempty"`       // random/quest
+	Density   float64 `json:"density,omitempty"`     // random
+	AvgTxnLen float64 `json:"avg_txn_len,omitempty"` // quest: T
+	AvgPatLen float64 `json:"avg_pat_len,omitempty"` // quest: I
+	Patterns  int     `json:"patterns,omitempty"`    // quest: pool size L
+	Corr      float64 `json:"corr,omitempty"`        // quest: pattern correlation
+	Corrupt   float64 `json:"corrupt,omitempty"`     // quest: mean corruption
+	Seed      uint64  `json:"seed,omitempty"`        // random/replace/microarray/quest
+
+	// Transform optionally filters the dataset after materialization.
+	Transform *TransformSpec `json:"transform,omitempty"`
+}
+
+// TransformSpec is the JSON shape of the ingest transform pipeline:
+// deterministic row sampling, horizontal and vertical sharding, and
+// minimum-item-support pruning, applied in that order.
+type TransformSpec struct {
+	// Sample keeps each row independently with this probability in
+	// (0,1); 0 keeps everything. Deterministic per SampleSeed.
+	Sample float64 `json:"sample,omitempty"`
+	// SampleSeed seeds the sampling stream.
+	SampleSeed uint64 `json:"sample_seed,omitempty"`
+	// RowLo/RowHi keep the half-open row range [RowLo, RowHi);
+	// RowHi 0 = unbounded.
+	RowLo int `json:"row_lo,omitempty"`
+	RowHi int `json:"row_hi,omitempty"`
+	// ItemLo/ItemHi keep the half-open item-ID range; ItemHi 0 =
+	// unbounded.
+	ItemLo int `json:"item_lo,omitempty"`
+	ItemHi int `json:"item_hi,omitempty"`
+	// MinItemSupport drops items occurring in fewer kept rows.
+	MinItemSupport int `json:"min_item_support,omitempty"`
+}
+
+func (ts *TransformSpec) validate() error {
+	if ts == nil {
+		return nil
+	}
+	if ts.Sample < 0 || ts.Sample > 1 {
+		return fmt.Errorf("server: transform.sample must be in [0,1], got %g", ts.Sample)
+	}
+	if ts.RowLo < 0 || ts.ItemLo < 0 || ts.RowHi < 0 || ts.ItemHi < 0 {
+		return fmt.Errorf("server: transform ranges must be non-negative")
+	}
+	if ts.RowHi > 0 && ts.RowHi <= ts.RowLo {
+		return fmt.Errorf("server: empty transform row range [%d,%d)", ts.RowLo, ts.RowHi)
+	}
+	if ts.ItemHi > 0 && ts.ItemHi <= ts.ItemLo {
+		return fmt.Errorf("server: empty transform item range [%d,%d)", ts.ItemLo, ts.ItemHi)
+	}
+	if ts.MinItemSupport < 0 {
+		return fmt.Errorf("server: transform.min_item_support must be >= 0")
+	}
+	return nil
+}
+
+// transforms builds the ingest pipeline the spec describes.
+func (ts *TransformSpec) transforms() []ingest.Transform {
+	if ts == nil {
+		return nil
+	}
+	var out []ingest.Transform
+	if ts.RowLo > 0 || ts.RowHi > 0 {
+		out = append(out, ingest.RowRange(ts.RowLo, ts.RowHi))
+	}
+	if ts.Sample > 0 && ts.Sample < 1 {
+		out = append(out, ingest.SampleRows(ts.Sample, ts.SampleSeed))
+	}
+	if ts.ItemLo > 0 || ts.ItemHi > 0 {
+		out = append(out, ingest.ItemRange(ts.ItemLo, ts.ItemHi))
+	}
+	if ts.MinItemSupport > 0 {
+		out = append(out, ingest.MinItemSupport(ts.MinItemSupport))
+	}
+	return out
 }
 
 func (ds DatasetSpec) sources() int {
@@ -75,15 +157,29 @@ func (ds DatasetSpec) sources() int {
 	if ds.Path != "" {
 		n++
 	}
+	if ds.Catalog != "" {
+		n++
+	}
 	if ds.Generator != "" {
 		n++
 	}
 	return n
 }
 
-func (ds DatasetSpec) validate(cfg Config) error {
+func (ds DatasetSpec) validate(cfg Config, cat *Catalog) error {
 	if ds.sources() != 1 {
-		return fmt.Errorf("server: dataset must set exactly one of transactions, path, generator")
+		return fmt.Errorf("server: dataset must set exactly one of transactions, path, catalog, generator")
+	}
+	if ds.Format != "" {
+		if ds.Path == "" {
+			return fmt.Errorf("server: dataset format applies only to path datasets")
+		}
+		if _, err := ingest.FormatByName(ds.Format); err != nil {
+			return err
+		}
+	}
+	if err := ds.Transform.validate(); err != nil {
+		return err
 	}
 	if ds.Path != "" {
 		if cfg.DataDir == "" {
@@ -91,6 +187,11 @@ func (ds DatasetSpec) validate(cfg Config) error {
 		}
 		if _, err := resolvePath(cfg.DataDir, ds.Path); err != nil {
 			return err
+		}
+	}
+	if ds.Catalog != "" {
+		if _, ok := cat.Get(ds.Catalog); !ok {
+			return fmt.Errorf("server: unknown catalog dataset %q", ds.Catalog)
 		}
 	}
 	if ds.Generator != "" {
@@ -109,8 +210,25 @@ func (ds DatasetSpec) validate(cfg Config) error {
 			}
 		case "replace", "microarray":
 			// seed-only
+		case "quest":
+			for name, v := range map[string]float64{
+				"avg_txn_len": ds.AvgTxnLen, "avg_pat_len": ds.AvgPatLen,
+				"corr": ds.Corr, "corrupt": ds.Corrupt,
+			} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					return fmt.Errorf("server: quest %s must be a non-negative finite number", name)
+				}
+			}
+			// datagen's Poisson sampler is exact only for means below its
+			// clamp; reject rather than silently generate something else.
+			if ds.AvgTxnLen > datagen.MaxQuestMean || ds.AvgPatLen > datagen.MaxQuestMean {
+				return fmt.Errorf("server: quest average lengths are capped at %d", datagen.MaxQuestMean)
+			}
+			if ds.Txns < 0 || ds.Items < 0 || ds.Patterns < 0 {
+				return fmt.Errorf("server: quest counts must be >= 0 (0 = default)")
+			}
 		default:
-			return fmt.Errorf("server: unknown generator %q (known: diag, diagplus, random, replace, microarray)", ds.Generator)
+			return fmt.Errorf("server: unknown generator %q (known: diag, diagplus, random, replace, microarray, quest)", ds.Generator)
 		}
 	}
 	if rows, items, known := ds.sizeBound(); known && overCellCap(rows, items, cfg.MaxCells) {
@@ -165,6 +283,16 @@ func (ds DatasetSpec) sizeBound() (rows, items int, known bool) {
 		return ds.N + ds.ExtraRows, ds.N + ds.ExtraCols, true
 	case ds.Generator == "random":
 		return ds.Txns, ds.Items, true
+	case ds.Generator == "quest":
+		cfg := datagen.DefaultQuestConfig()
+		rows, items = cfg.Txns, cfg.Items
+		if ds.Txns > 0 {
+			rows = ds.Txns
+		}
+		if ds.Items > 0 {
+			items = ds.Items
+		}
+		return rows, items, true
 	}
 	return 0, 0, false
 }
@@ -181,8 +309,9 @@ func resolvePath(root, name string) (string, error) {
 
 // build materializes the dataset. It runs on a worker goroutine so that
 // at most Config.Workers datasets are in flight, and re-checks the cell
-// cap for sources whose size is only known after loading.
-func (ds DatasetSpec) build(cfg Config) (*dataset.Dataset, error) {
+// cap for sources whose size is only known after loading. Catalog and
+// path datasets go through cat's content-hash cache.
+func (ds DatasetSpec) build(cfg Config, cat *Catalog) (*dataset.Dataset, error) {
 	var d *dataset.Dataset
 	var err error
 	switch {
@@ -192,9 +321,11 @@ func (ds DatasetSpec) build(cfg Config) (*dataset.Dataset, error) {
 		var full string
 		if full, err = resolvePath(cfg.DataDir, ds.Path); err == nil {
 			if _, err = os.Stat(full); err == nil {
-				d, err = dataset.Load(full)
+				d, err = cat.LoadPath(full, ds.Format)
 			}
 		}
+	case ds.Catalog != "":
+		d, err = cat.Dataset(ds.Catalog)
 	case ds.Generator == "diag":
 		d = datagen.Diag(ds.N)
 	case ds.Generator == "diagplus":
@@ -205,11 +336,20 @@ func (ds DatasetSpec) build(cfg Config) (*dataset.Dataset, error) {
 		d, _ = datagen.Replace(ds.Seed)
 	case ds.Generator == "microarray":
 		d, _ = datagen.Microarray(ds.Seed)
+	case ds.Generator == "quest":
+		d = datagen.Quest(rng.New(ds.Seed), datagen.QuestConfig{
+			Txns: ds.Txns, Items: ds.Items,
+			AvgTxnLen: ds.AvgTxnLen, AvgPatLen: ds.AvgPatLen,
+			Patterns: ds.Patterns, Corr: ds.Corr, Corrupt: ds.Corrupt,
+		})
 	default:
 		err = fmt.Errorf("server: empty dataset spec")
 	}
 	if err != nil {
 		return nil, err
+	}
+	if transforms := ds.Transform.transforms(); len(transforms) > 0 {
+		d, _ = ingest.Apply(d, false, transforms...)
 	}
 	if overCellCap(d.Size(), d.NumItems(), cfg.MaxCells) {
 		return nil, fmt.Errorf("server: dataset of %d×%d exceeds the %d-cell cap", d.Size(), d.NumItems(), cfg.MaxCells)

@@ -7,28 +7,31 @@
 #   BENCH_FILTER='BenchmarkMine' scripts/bench.sh   # widen/narrow the set
 #
 # The recorded benchmarks are BenchmarkMineReplace / BenchmarkMineMicroarray
-# (the end-to-end fusion hot path) and the BenchmarkEngine* family (every
-# registry miner at p=1 vs p=8 on the Replace and Microarray workloads) —
-# the perf trajectory (BENCH_*.json, one file per PR that moves the needle)
-# is tracked against them. ns/op, B/op and allocs/op come from -benchmem.
+# (the end-to-end fusion hot path), the BenchmarkEngine* family (every
+# registry miner at p=1 vs p=8 on the Replace and Microarray workloads) and
+# BenchmarkIngest (streaming ingestion of a ~100k-row Quest file: FIMI vs
+# gzip vs CSV) — the perf trajectory (BENCH_*.json, one file per PR that
+# moves the needle) is tracked against them. ns/op, B/op and allocs/op come
+# from -benchmem.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-BENCH_1.json}"
 benchtime="${BENCHTIME:-3x}"
-filter="${BENCH_FILTER:-BenchmarkMineReplace|BenchmarkMineMicroarray|BenchmarkEngine}"
+filter="${BENCH_FILTER:-BenchmarkMineReplace|BenchmarkMineMicroarray|BenchmarkEngine|BenchmarkIngest}"
 
-raw=$(go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" .)
+raw=$(go test -run '^$' -bench "$filter" -benchmem -benchtime "$benchtime" . ./internal/ingest)
 printf '%s\n' "$raw" >&2
 
 {
   printf '{\n'
   printf '  "benchtime": "%s",\n' "$benchtime"
   printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  # Multiple packages repeat the goos/goarch/cpu header; keep the first.
   printf '%s\n' "$raw" | awk '
-    /^goos:/   { printf "  \"goos\": \"%s\",\n", $2 }
-    /^goarch:/ { printf "  \"goarch\": \"%s\",\n", $2 }
-    /^cpu:/    { sub(/^cpu: */, ""); gsub(/"/, "\\\""); printf "  \"cpu\": \"%s\",\n", $0 }
+    /^goos:/   && !seen_goos   { seen_goos = 1;   printf "  \"goos\": \"%s\",\n", $2 }
+    /^goarch:/ && !seen_goarch { seen_goarch = 1; printf "  \"goarch\": \"%s\",\n", $2 }
+    /^cpu:/    && !seen_cpu    { seen_cpu = 1; sub(/^cpu: */, ""); gsub(/"/, "\\\""); printf "  \"cpu\": \"%s\",\n", $0 }
   '
   printf '  "benchmarks": [\n'
   printf '%s\n' "$raw" | awk '

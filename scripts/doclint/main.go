@@ -9,9 +9,10 @@
 //	go run ./scripts/doclint [dir ...]
 //
 // With no arguments it audits the default set: the public root package,
-// internal/engine (the contract every miner implements), and the four
-// substrate packages (bitset, itemset, rng, fptree). Exit status 1 and
-// one "path: symbol" line per finding when anything is undocumented.
+// internal/engine (the contract every miner implements), internal/ingest
+// (the dataset ingestion surface), and the four substrate packages
+// (bitset, itemset, rng, fptree). Exit status 1 and one "path: symbol"
+// line per finding when anything is undocumented.
 package main
 
 import (
@@ -29,6 +30,7 @@ import (
 var defaultDirs = []string{
 	".",
 	"internal/engine",
+	"internal/ingest",
 	"internal/bitset",
 	"internal/itemset",
 	"internal/rng",
