@@ -27,8 +27,18 @@
 //	  "options":   {"min_support": 0.05, "k": 50}
 //	}'
 //
-// See internal/server for the full API and docs/formats.md for the
-// accepted dataset formats.
+// Running with -data-dir additionally makes the server restart-safe:
+// job records, results and the dataset catalog persist under
+// <data-dir>/state, and a restart re-serves completed results and
+// re-runs interrupted jobs (byte-identically — the engine is
+// deterministic). -auth-config enables per-tenant API keys and quotas,
+// and GET /metrics exposes Prometheus metrics. On SIGINT/SIGTERM the
+// server drains: admission stops (503), running jobs get -drain to
+// finish, the rest are checkpointed for the next start.
+//
+// See internal/server for the full API, docs/operations.md for the
+// operator runbook (metrics reference, on-disk layout, auth config),
+// and docs/formats.md for the accepted dataset formats.
 package main
 
 import (
@@ -39,6 +49,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
@@ -53,13 +64,15 @@ func main() {
 		queue    = flag.Int("queue", 16, "max queued jobs before submissions are rejected")
 		timeout  = flag.Duration("timeout", 5*time.Minute, "default and maximum per-job run time")
 		maxCells = flag.Int("max-cells", 64<<20, "max dataset cells (|D|·|I|) per job; 0 = server default, negative = unlimited")
-		dataDir  = flag.String("data-dir", "", "directory for {\"path\": ...} dataset specs (empty disables them)")
+		dataDir  = flag.String("data-dir", "", "directory for {\"path\": ...} dataset specs and the durable job/catalog store (empty = stateless, in-memory)")
 		maxPar   = flag.Int("max-parallelism", 0, "cap on each job's mining parallelism; 0 = GOMAXPROCS/workers, negative = uncapped")
 		maxUp    = flag.Int64("max-upload", 0, "max PUT /datasets/{name} body bytes; 0 = 32 MiB default, negative disables uploads")
+		authCfg  = flag.String("auth-config", "", "tenant config file enabling API keys + quotas (see docs/operations.md; empty = open access)")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight jobs before they are checkpointed")
 	)
 	flag.Parse()
 
-	mgr := server.NewManager(server.Config{
+	cfg := server.Config{
 		Workers:        *workers,
 		QueueDepth:     *queue,
 		DefaultTimeout: *timeout,
@@ -67,15 +80,33 @@ func main() {
 		DataDir:        *dataDir,
 		MaxParallelism: *maxPar,
 		MaxUploadBytes: *maxUp,
-	})
+	}
+	if *dataDir != "" {
+		store, err := server.OpenStore(filepath.Join(*dataDir, "state"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfserve: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Store = store
+	}
+	if *authCfg != "" {
+		auth, err := server.LoadAuth(*authCfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pfserve: %v\n", err)
+			os.Exit(1)
+		}
+		cfg.Auth = auth
+	}
+
+	mgr := server.NewManager(cfg)
 	srv := &http.Server{Addr: *addr, Handler: server.Handler(mgr)}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "pfserve: listening on %s (workers=%d queue=%d timeout=%v)\n",
-		*addr, *workers, *queue, *timeout)
+	fmt.Fprintf(os.Stderr, "pfserve: listening on %s (workers=%d queue=%d timeout=%v persistent=%v auth=%v)\n",
+		*addr, *workers, *queue, *timeout, cfg.Store != nil, cfg.Auth != nil)
 
 	select {
 	case err := <-errc:
@@ -84,10 +115,17 @@ func main() {
 			os.Exit(1)
 		}
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "pfserve: shutting down")
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		_ = srv.Shutdown(shutdownCtx)
-		mgr.Close()
+		stop() // restore default signal handling: a second signal kills
+		fmt.Fprintf(os.Stderr, "pfserve: draining (up to %v) ...\n", *drain)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		unfinished := mgr.Shutdown(drainCtx)
+		cancel()
+		if unfinished > 0 {
+			fmt.Fprintf(os.Stderr, "pfserve: checkpointed %d unfinished job(s) for the next start\n", unfinished)
+		}
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		_ = srv.Shutdown(shutCtx)
+		cancel()
+		fmt.Fprintln(os.Stderr, "pfserve: shutdown complete")
 	}
 }

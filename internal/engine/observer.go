@@ -1,0 +1,44 @@
+package engine
+
+import "repro/internal/metrics"
+
+// FanOut composes observers: the returned Observer forwards every event
+// to each non-nil observer in obs, in argument order, from the emitting
+// goroutine. It is how a single mining run feeds both a caller-facing
+// event log and an instrumentation sink without either knowing about
+// the other. Nil and all-nil inputs collapse to a nil Observer, so the
+// Emit fast path stays a single nil check.
+func FanOut(obs ...Observer) Observer {
+	live := make([]Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			live = append(live, o)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(e Event) {
+		for _, o := range live {
+			o(e)
+		}
+	}
+}
+
+// CountEvents adapts a metrics counter into an Observer: every event
+// increments c with (algorithm, phase) label values. The counter must
+// have been registered with exactly two label dimensions. This is the
+// bridge between the structured event stream the miners already emit
+// and a Prometheus exposition — counting events here means the metrics
+// reconcile with the event log by construction.
+func CountEvents(c *metrics.Counter) Observer {
+	if c == nil {
+		return nil
+	}
+	return func(e Event) {
+		c.Inc(e.Algorithm, string(e.Phase))
+	}
+}

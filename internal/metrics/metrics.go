@@ -1,0 +1,342 @@
+// Package metrics is a dependency-free Prometheus instrumentation
+// library: counters, gauges and histograms with label dimensions,
+// collected in a Registry and rendered in the Prometheus text exposition
+// format (version 0.0.4) at an HTTP endpoint.
+//
+// It exists so pfserve can expose operational metrics without pulling
+// the Prometheus client library into the module — the text format is a
+// small, stable contract, and the server needs only the three basic
+// instrument kinds. The exposition is deterministic: families appear in
+// registration order and label sets within a family are sorted, so two
+// scrapes of the same state render byte-identically (which the tests
+// rely on).
+//
+// Concurrency: every instrument method is safe for concurrent use; a
+// single mutex per Registry serializes both updates and exposition.
+// This is deliberate — pfserve's update rates (per job, per progress
+// event) are far below contention range, and one lock keeps scrapes
+// consistent (a scrape never sees a histogram whose sum and count
+// disagree).
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Kind is an instrument family's Prometheus metric type.
+type Kind string
+
+// The three instrument kinds the package implements.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Registry collects instrument families and renders them in the
+// Prometheus text format. The zero value is not usable; call
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// family is one named metric family: its metadata plus one series per
+// observed label-value combination.
+type family struct {
+	name    string
+	help    string
+	kind    Kind
+	labels  []string
+	buckets []float64 // histograms only
+	series  map[string]*series
+}
+
+// series is one label-value combination's state. For counters and
+// gauges only val is used; histograms additionally fill counts/sum.
+type series struct {
+	labelVals []string
+	val       float64
+	counts    []uint64 // per-bucket cumulative-at-render counts (stored non-cumulative)
+	count     uint64
+	sum       float64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// register creates (or panics on conflicting re-registration of) a
+// family. Re-registering an identical family returns the existing one,
+// so package-level wiring can be idempotent.
+func (r *Registry) register(name, help string, kind Kind, buckets []float64, labels []string) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("metrics: conflicting registration of %q", name))
+		}
+		return f
+	}
+	f := &family{
+		name:    name,
+		help:    help,
+		kind:    kind,
+		labels:  append([]string(nil), labels...),
+		buckets: append([]float64(nil), buckets...),
+		series:  make(map[string]*series),
+	}
+	r.families = append(r.families, f)
+	r.byName[name] = f
+	return f
+}
+
+// get returns the series for the given label values, creating it on
+// first use. Caller holds r.mu.
+func (f *family) get(labelVals []string) *series {
+	if len(labelVals) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s wants %d label values, got %d", f.name, len(f.labels), len(labelVals)))
+	}
+	key := strings.Join(labelVals, "\x00")
+	s, ok := f.series[key]
+	if !ok {
+		s = &series{labelVals: append([]string(nil), labelVals...)}
+		if f.kind == KindHistogram {
+			s.counts = make([]uint64, len(f.buckets))
+		}
+		f.series[key] = s
+	}
+	return s
+}
+
+// Counter is a monotonically increasing metric family. With zero label
+// dimensions it has exactly one series.
+type Counter struct {
+	r *Registry
+	f *family
+}
+
+// NewCounter registers a counter family with the given label names.
+func (r *Registry) NewCounter(name, help string, labels ...string) *Counter {
+	return &Counter{r: r, f: r.register(name, help, KindCounter, nil, labels)}
+}
+
+// Add increments the series keyed by labelVals by delta (>= 0).
+func (c *Counter) Add(delta float64, labelVals ...string) {
+	if delta < 0 {
+		panic("metrics: counter delta must be >= 0")
+	}
+	c.r.mu.Lock()
+	c.f.get(labelVals).val += delta
+	c.r.mu.Unlock()
+}
+
+// Inc increments the series keyed by labelVals by one.
+func (c *Counter) Inc(labelVals ...string) { c.Add(1, labelVals...) }
+
+// Value returns the series' current value (0 if never incremented).
+func (c *Counter) Value(labelVals ...string) float64 {
+	c.r.mu.Lock()
+	defer c.r.mu.Unlock()
+	return c.f.get(labelVals).val
+}
+
+// Gauge is a metric family whose series can go up and down.
+type Gauge struct {
+	r *Registry
+	f *family
+}
+
+// NewGauge registers a gauge family with the given label names.
+func (r *Registry) NewGauge(name, help string, labels ...string) *Gauge {
+	return &Gauge{r: r, f: r.register(name, help, KindGauge, nil, labels)}
+}
+
+// Set sets the series keyed by labelVals to v.
+func (g *Gauge) Set(v float64, labelVals ...string) {
+	g.r.mu.Lock()
+	g.f.get(labelVals).val = v
+	g.r.mu.Unlock()
+}
+
+// Add adds delta (possibly negative) to the series keyed by labelVals.
+func (g *Gauge) Add(delta float64, labelVals ...string) {
+	g.r.mu.Lock()
+	g.f.get(labelVals).val += delta
+	g.r.mu.Unlock()
+}
+
+// Inc adds one to the series keyed by labelVals.
+func (g *Gauge) Inc(labelVals ...string) { g.Add(1, labelVals...) }
+
+// Dec subtracts one from the series keyed by labelVals.
+func (g *Gauge) Dec(labelVals ...string) { g.Add(-1, labelVals...) }
+
+// Value returns the series' current value.
+func (g *Gauge) Value(labelVals ...string) float64 {
+	g.r.mu.Lock()
+	defer g.r.mu.Unlock()
+	return g.f.get(labelVals).val
+}
+
+// Histogram is a metric family of cumulative bucket distributions.
+type Histogram struct {
+	r *Registry
+	f *family
+}
+
+// DefaultLatencyBuckets spans 1 ms .. ~100 s in roughly ×2.5 steps —
+// wide enough for both sub-second generator jobs and multi-second
+// mining runs.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// NewHistogram registers a histogram family with the given upper bucket
+// bounds (must be sorted ascending; the +Inf bucket is implicit). Nil
+// buckets select DefaultLatencyBuckets.
+func (r *Registry) NewHistogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("metrics: %s buckets must be strictly ascending", name))
+		}
+	}
+	return &Histogram{r: r, f: r.register(name, help, KindHistogram, buckets, labels)}
+}
+
+// Observe records one observation in the series keyed by labelVals.
+func (h *Histogram) Observe(v float64, labelVals ...string) {
+	h.r.mu.Lock()
+	s := h.f.get(labelVals)
+	idx := sort.SearchFloat64s(h.f.buckets, v)
+	if idx < len(s.counts) {
+		s.counts[idx]++
+	}
+	s.count++
+	s.sum += v
+	h.r.mu.Unlock()
+}
+
+// Count returns the series' observation count.
+func (h *Histogram) Count(labelVals ...string) uint64 {
+	h.r.mu.Lock()
+	defer h.r.mu.Unlock()
+	return h.f.get(labelVals).count
+}
+
+// WriteTo renders every family in the Prometheus text exposition format.
+// The output is deterministic for a given registry state: families in
+// registration order, series sorted by label values.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var b strings.Builder
+	for _, f := range r.families {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case KindHistogram:
+				cum := uint64(0)
+				for i, bound := range f.buckets {
+					cum += s.counts[i]
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+						renderLabels(f.labels, s.labelVals, "le", formatBound(bound)), cum)
+				}
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name,
+					renderLabels(f.labels, s.labelVals, "le", "+Inf"), s.count)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, renderLabels(f.labels, s.labelVals, "", ""), formatValue(s.sum))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, renderLabels(f.labels, s.labelVals, "", ""), s.count)
+			default:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, renderLabels(f.labels, s.labelVals, "", ""), formatValue(s.val))
+			}
+		}
+	}
+	n, err := io.WriteString(w, b.String())
+	return int64(n), err
+}
+
+// Handler serves the registry in the Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = r.WriteTo(w)
+	})
+}
+
+// renderLabels renders a {k="v",...} block from the family's label
+// names and a series' values, with an optional extra pair (the
+// histogram "le" bound). An empty label set renders as "".
+func renderLabels(names, vals []string, extraName, extraVal string) string {
+	if len(names) == 0 && extraName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if extraName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraName)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the text-format rules.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// escapeHelp escapes a HELP string per the text-format rules.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// formatBound renders a histogram bucket bound the way Prometheus
+// clients do (shortest round-trip representation).
+func formatBound(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatValue renders a sample value; integral floats render without a
+// fractional part, matching the common client libraries.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

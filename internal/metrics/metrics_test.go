@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if _, err := r.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("jobs_total", "Jobs by state.", "state", "tenant")
+	c.Inc("done", "alice")
+	c.Add(2, "failed", "bob")
+	c.Inc("done", "alice")
+
+	out := render(t, r)
+	for _, want := range []string{
+		"# HELP jobs_total Jobs by state.",
+		"# TYPE jobs_total counter",
+		`jobs_total{state="done",tenant="alice"} 2`,
+		`jobs_total{state="failed",tenant="bob"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if c.Value("done", "alice") != 2 {
+		t.Errorf("Value = %v, want 2", c.Value("done", "alice"))
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("queue_depth", "Queued jobs.")
+	g.Set(5)
+	g.Inc()
+	g.Dec()
+	g.Add(-2)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %v, want 3", got)
+	}
+	if out := render(t, r); !strings.Contains(out, "queue_depth 3\n") {
+		t.Fatalf("unlabeled gauge renders wrong:\n%s", out)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.NewHistogram("latency_seconds", "Job latency.", []float64{0.1, 1, 10}, "alg")
+	h.Observe(0.05, "fusion") // <= 0.1
+	h.Observe(0.5, "fusion")  // <= 1
+	h.Observe(0.7, "fusion")  // <= 1
+	h.Observe(99, "fusion")   // only +Inf
+
+	out := render(t, r)
+	for _, want := range []string{
+		`latency_seconds_bucket{alg="fusion",le="0.1"} 1`,
+		`latency_seconds_bucket{alg="fusion",le="1"} 3`,
+		`latency_seconds_bucket{alg="fusion",le="10"} 3`,
+		`latency_seconds_bucket{alg="fusion",le="+Inf"} 4`,
+		`latency_seconds_count{alg="fusion"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if h.Count("fusion") != 4 {
+		t.Errorf("Count = %d, want 4", h.Count("fusion"))
+	}
+	// Sum is 0.05+0.5+0.7+99 = 100.25.
+	if !strings.Contains(out, `latency_seconds_sum{alg="fusion"} 100.25`) {
+		t.Errorf("sum missing:\n%s", out)
+	}
+}
+
+// TestDeterministicExposition pins the ordering contract: families in
+// registration order, series sorted by label values, so identical state
+// renders byte-identically.
+func TestDeterministicExposition(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		a := r.NewCounter("aaa_total", "a", "l")
+		b := r.NewGauge("bbb", "b", "l")
+		for _, v := range order {
+			a.Inc(v)
+			b.Set(1, v)
+		}
+		var sb strings.Builder
+		_, _ = r.WriteTo(&sb)
+		return sb.String()
+	}
+	x := build([]string{"z", "m", "a"})
+	y := build([]string{"a", "z", "m"})
+	if x != y {
+		t.Fatalf("series creation order leaked into exposition:\n%s\nvs\n%s", x, y)
+	}
+	if strings.Index(x, "aaa_total") > strings.Index(x, "bbb") {
+		t.Fatal("families not in registration order")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("esc_total", "with \"quotes\" and\nnewline", "v")
+	c.Inc(`a"b\c` + "\n")
+	out := render(t, r)
+	if !strings.Contains(out, `esc_total{v="a\"b\\c\n"} 1`) {
+		t.Fatalf("label not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `# HELP esc_total with "quotes" and\nnewline`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+}
+
+// TestIdempotentRegistration pins that re-registering the same family
+// returns the same underlying series (wiring code may run twice).
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.NewCounter("dup_total", "d", "l")
+	b := r.NewCounter("dup_total", "d", "l")
+	a.Inc("x")
+	b.Inc("x")
+	if a.Value("x") != 2 {
+		t.Fatalf("re-registration split the series: %v", a.Value("x"))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting re-registration did not panic")
+		}
+	}()
+	r.NewGauge("dup_total", "d", "l")
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	c := r.NewCounter("conc_total", "c", "w")
+	h := r.NewHistogram("conc_seconds", "c", []float64{1}, "w")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc("shared")
+				h.Observe(0.5, "shared")
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value("shared") != 8000 {
+		t.Fatalf("lost counter updates: %v", c.Value("shared"))
+	}
+	if h.Count("shared") != 8000 {
+		t.Fatalf("lost observations: %v", h.Count("shared"))
+	}
+}
+
+func TestHandlerContentType(t *testing.T) {
+	r := NewRegistry()
+	r.NewCounter("x_total", "x").Inc()
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body: %s", rec.Body.String())
+	}
+}

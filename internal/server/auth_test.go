@@ -1,0 +1,248 @@
+package server_test
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// doAuth performs one request with an optional API key and decodes the
+// JSON response.
+func doAuth(t *testing.T, method, url, key, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	_ = json.NewDecoder(resp.Body).Decode(&out)
+	return resp, out
+}
+
+func testAuth(t *testing.T) *server.Auth {
+	t.Helper()
+	auth, err := server.NewAuth([]*server.Tenant{
+		{Name: "alice", Key: "alice-key", MaxActiveJobs: 1, MaxCatalogBytes: 10},
+		{Name: "bob", Key: "bob-key"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return auth
+}
+
+// TestAuthRequired checks the key-handling semantics: 401 without a key
+// (with a WWW-Authenticate challenge), 403 for an unknown key, and open
+// access for the liveness and metrics probes.
+func TestAuthRequired(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{Workers: 1, Auth: testAuth(t)})
+
+	resp, _ := doAuth(t, http.MethodGet, ts.URL+"/jobs", "", "")
+	if resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("no key: %d, want 401", resp.StatusCode)
+	}
+	if !strings.Contains(resp.Header.Get("WWW-Authenticate"), "Bearer") {
+		t.Fatalf("401 without a WWW-Authenticate challenge: %q", resp.Header.Get("WWW-Authenticate"))
+	}
+	resp, _ = doAuth(t, http.MethodGet, ts.URL+"/jobs", "wrong-key", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("bad key: %d, want 403", resp.StatusCode)
+	}
+	// X-API-Key is an accepted alternative to the Bearer header.
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/jobs", nil)
+	req.Header.Set("X-API-Key", "alice-key")
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("X-API-Key: %d, want 200", resp2.StatusCode)
+	}
+	// Probes stay open for load balancers and scrapers.
+	for _, path := range []string{"/healthz", "/metrics"} {
+		resp, _ := doAuth(t, http.MethodGet, ts.URL+path, "", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s without key: %d, want 200", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestJobQuota checks per-tenant admission control: a tenant at its
+// active-job cap gets 429 with Retry-After, other tenants are
+// unaffected, and finishing a job frees the slot.
+func TestJobQuota(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{Workers: 1, Auth: testAuth(t)})
+	slowSpec := `{"algorithm": "testslow", "dataset": {"generator": "diag", "n": 4}, "options": {}}`
+
+	resp, sub := doAuth(t, http.MethodPost, ts.URL+"/jobs", "alice-key", slowSpec)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: %d %v", resp.StatusCode, sub)
+	}
+	id := sub["id"].(string)
+	select {
+	case <-slowStarted:
+	case <-time.After(10 * time.Second):
+		t.Fatal("slow job never started")
+	}
+
+	resp, body := doAuth(t, http.MethodPost, ts.URL+"/jobs", "alice-key", slowSpec)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota submit: %d %v, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	// Bob has no quota and his submission is admitted (it queues behind
+	// alice's on the single worker).
+	resp, sub = doAuth(t, http.MethodPost, ts.URL+"/jobs", "bob-key", `{"algorithm": "fusion", "dataset": {"generator": "diag", "n": 8}, "options": {"min_count": 4}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("bob submit: %d %v", resp.StatusCode, sub)
+	}
+	bobID := sub["id"].(string)
+
+	// Bob cannot cancel alice's job; alice can, and the freed slot
+	// admits her next submission.
+	resp, _ = doAuth(t, http.MethodDelete, ts.URL+"/jobs/"+id, "bob-key", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("cross-tenant cancel: %d, want 403", resp.StatusCode)
+	}
+	resp, _ = doAuth(t, http.MethodDelete, ts.URL+"/jobs/"+id, "alice-key", "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("own cancel: %d, want 202", resp.StatusCode)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, snap := doAuth(t, http.MethodGet, ts.URL+"/jobs/"+id, "alice-key", "")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status: %d", resp.StatusCode)
+		}
+		if state, _ := snap["state"].(string); state == "canceled" {
+			if snap["tenant"] != "alice" {
+				t.Fatalf("job tenant %v, want alice", snap["tenant"])
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s never canceled", id)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	resp, sub = doAuth(t, http.MethodPost, ts.URL+"/jobs", "alice-key", `{"algorithm": "fusion", "dataset": {"generator": "diag", "n": 8}, "options": {"min_count": 4}}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit after slot freed: %d %v", resp.StatusCode, sub)
+	}
+	// Drain bob's queued job so cleanup is not racing a running miner.
+	for _, jid := range []string{sub["id"].(string), bobID} {
+		deadline := time.Now().Add(30 * time.Second)
+		for {
+			_, snap := doAuth(t, http.MethodGet, ts.URL+"/jobs/"+jid, "bob-key", "")
+			if state, _ := snap["state"].(string); state == "done" || state == "failed" || state == "canceled" {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s never finished", jid)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+}
+
+// TestCatalogQuota checks the per-tenant catalog byte budget: uploads
+// beyond it answer 429 + Retry-After, replacements are credited for the
+// bytes they free, and only the owner may replace or delete an entry.
+func TestCatalogQuota(t *testing.T) {
+	ts, _ := newTestServer(t, server.Config{Workers: 1, Auth: testAuth(t)})
+
+	// 8 bytes of alice's 10-byte budget.
+	resp, _ := doAuth(t, http.MethodPut, ts.URL+"/datasets/a1", "alice-key", "1 2\n3 4\n")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first upload: %d, want 201", resp.StatusCode)
+	}
+	// 8 more would make 16 > 10: rejected with back-off guidance.
+	resp, body := doAuth(t, http.MethodPut, ts.URL+"/datasets/a2", "alice-key", "5 6\n7 8\n")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota upload: %d %v, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After header")
+	}
+	// Replacing a1 is credited for a1's 8 bytes: 10 <= 10 passes.
+	resp, _ = doAuth(t, http.MethodPut, ts.URL+"/datasets/a1", "alice-key", "1 2 3\n2 3\n")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replacement upload: %d, want 200", resp.StatusCode)
+	}
+	// Bob has no byte quota and uploads freely, but cannot touch a1.
+	resp, _ = doAuth(t, http.MethodPut, ts.URL+"/datasets/b1", "bob-key", "1 2\n3 4\n5 6\n7 8\n")
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("bob upload: %d, want 201", resp.StatusCode)
+	}
+	resp, _ = doAuth(t, http.MethodPut, ts.URL+"/datasets/a1", "bob-key", "9 10\n")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("cross-tenant replace: %d, want 403", resp.StatusCode)
+	}
+	resp, _ = doAuth(t, http.MethodDelete, ts.URL+"/datasets/a1", "bob-key", "")
+	if resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("cross-tenant delete: %d, want 403", resp.StatusCode)
+	}
+	resp, _ = doAuth(t, http.MethodDelete, ts.URL+"/datasets/a1", "alice-key", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("own delete: %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestLoadAuth checks the -auth-config file loader: a valid file round-
+// trips, and the validation rejects the reserved name, duplicates and
+// negative quotas.
+func TestLoadAuth(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tenants.json")
+	if err := os.WriteFile(path, []byte(`{
+  "tenants": [
+    {"name": "alice", "key": "k1", "max_active_jobs": 2, "max_catalog_bytes": 1048576},
+    {"name": "bob", "key": "k2"}
+  ]
+}`), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	auth, err := server.LoadAuth(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tt, ok := auth.Lookup("k1"); !ok || tt.Name != "alice" || tt.MaxActiveJobs != 2 {
+		t.Fatalf("Lookup(k1): %+v %v", tt, ok)
+	}
+	if _, ok := auth.Lookup("nope"); ok {
+		t.Fatal("unknown key resolved")
+	}
+
+	bad := []struct {
+		name    string
+		tenants []*server.Tenant
+	}{
+		{"empty", nil},
+		{"no key", []*server.Tenant{{Name: "x"}}},
+		{"reserved name", []*server.Tenant{{Name: "anonymous", Key: "k"}}},
+		{"negative quota", []*server.Tenant{{Name: "x", Key: "k", MaxActiveJobs: -1}}},
+		{"dup name", []*server.Tenant{{Name: "x", Key: "k1"}, {Name: "x", Key: "k2"}}},
+		{"dup key", []*server.Tenant{{Name: "x", Key: "k"}, {Name: "y", Key: "k"}}},
+	}
+	for _, tc := range bad {
+		if _, err := server.NewAuth(tc.tenants); err == nil {
+			t.Errorf("NewAuth(%s): no error", tc.name)
+		}
+	}
+}

@@ -23,9 +23,11 @@ import (
 //     parsing (and storing) it again.
 //
 // The cache is bounded (insertion-order eviction); catalog entries pin
-// their dataset regardless of cache eviction. Everything is in-memory:
-// the catalog does not survive a server restart, by design — it is a
-// working set, not a storage system.
+// their dataset regardless of cache eviction. Parsed datasets are
+// in-memory; with a Store attached the raw uploads and the entry
+// manifest are durable, and restore rebuilds the parsed working set at
+// startup by re-ingesting the blobs (ingestion is deterministic, so the
+// rebuilt datasets are identical).
 type Catalog struct {
 	mu       sync.Mutex
 	entries  map[string]*DatasetEntry
@@ -33,6 +35,8 @@ type Catalog struct {
 	cacheKey []string // insertion order, for eviction
 	hits     int
 	maxCells int
+	store    *Store   // nil = memory-only
+	metrics  *Metrics // nil = uninstrumented (direct construction in tests)
 }
 
 // parsedDataset is one content-hash cache value: the parsed dataset plus
@@ -77,10 +81,13 @@ type DatasetEntry struct {
 	// Cached reports whether the upload was served from the content-hash
 	// cache instead of being parsed.
 	Cached bool `json:"cached"`
+	// Tenant is the uploading tenant's name ("" in open mode).
+	Tenant string `json:"tenant,omitempty"`
 	// Created is the upload time.
 	Created time.Time `json:"created_at"`
 
-	ds *dataset.Dataset
+	ds              *dataset.Dataset
+	requestedFormat string // the ?format= override, "" = sniffed (manifest needs it)
 }
 
 // NewCatalog returns an empty catalog whose datasets are bounded by
@@ -98,6 +105,21 @@ func NewCatalog(maxCells int) *Catalog {
 // first and identical content already in the cache skips the parse
 // entirely. It returns the entry and whether an entry was replaced.
 func (c *Catalog) Put(name, format string, data []byte) (*DatasetEntry, bool, error) {
+	return c.PutOwned(name, format, data, "", 0)
+}
+
+// PutOwned is Put on behalf of a tenant: the entry is stamped with
+// owner, and when quota > 0 the owner's total raw catalog bytes
+// (replacements credited) may not exceed it — a *QuotaError (429)
+// otherwise.
+func (c *Catalog) PutOwned(name, format string, data []byte, owner string, quota int64) (*DatasetEntry, bool, error) {
+	return c.put(name, format, data, owner, quota, time.Now(), true)
+}
+
+// put is the shared insert path for uploads and startup restore; see
+// PutOwned. persist=false (restore) skips the blob/manifest writes and
+// keeps the recorded creation time.
+func (c *Catalog) put(name, format string, data []byte, owner string, quota int64, created time.Time, persist bool) (*DatasetEntry, bool, error) {
 	if !nameRE.MatchString(name) {
 		return nil, false, fmt.Errorf("server: invalid dataset name %q (want %s)", name, nameRE)
 	}
@@ -106,7 +128,7 @@ func (c *Catalog) Put(name, format string, data []byte) (*DatasetEntry, bool, er
 	c.mu.Lock()
 	parsed, cached := c.cache[key]
 	if cached {
-		c.hits++
+		c.recordHitLocked()
 	}
 	c.mu.Unlock()
 
@@ -140,27 +162,144 @@ func (c *Catalog) Put(name, format string, data []byte) (*DatasetEntry, bool, er
 	} else {
 		c.cacheAdd(key, parsed)
 	}
-	_, exists := c.entries[name]
+	old, exists := c.entries[name]
 	if !exists && len(c.entries) >= maxCatalogEntries {
 		return nil, false, fmt.Errorf("server: catalog is full (%d entries); delete one first", maxCatalogEntries)
 	}
+	if quota > 0 {
+		used := int64(0)
+		for n, e := range c.entries {
+			if e.Tenant == owner && n != name {
+				used += e.Bytes
+			}
+		}
+		if used+int64(len(data)) > quota {
+			if c.metrics != nil {
+				c.metrics.AuthRejections.Inc("catalog_quota")
+			}
+			return nil, false, &QuotaError{
+				Msg: fmt.Sprintf("server: upload of %d bytes exceeds tenant %q's catalog quota (%d of %d bytes in use)",
+					len(data), owner, used, quota),
+				RetryAfter: 60,
+			}
+		}
+	}
 	stats := parsed.ds.ComputeStats()
 	entry := &DatasetEntry{
-		Name:      name,
-		Format:    parsed.format,
-		Gzipped:   parsed.gzipped,
-		SHA256:    sum,
-		Bytes:     int64(len(data)),
-		Rows:      stats.Transactions,
-		Items:     stats.UniverseSize,
-		Density:   density(stats),
-		AvgTxnLen: stats.AvgTxnLen,
-		Cached:    cached,
-		Created:   time.Now(),
-		ds:        parsed.ds,
+		Name:            name,
+		Format:          parsed.format,
+		Gzipped:         parsed.gzipped,
+		SHA256:          sum,
+		Bytes:           int64(len(data)),
+		Rows:            stats.Transactions,
+		Items:           stats.UniverseSize,
+		Density:         density(stats),
+		AvgTxnLen:       stats.AvgTxnLen,
+		Cached:          cached,
+		Tenant:          owner,
+		Created:         created,
+		ds:              parsed.ds,
+		requestedFormat: format,
 	}
 	c.entries[name] = entry
+	if persist && c.store != nil {
+		if err := c.store.SaveBlob(sum, data); err != nil {
+			delete(c.entries, name)
+			if exists {
+				c.entries[name] = old
+			}
+			return nil, false, fmt.Errorf("server: persisting dataset blob: %w", err)
+		}
+		if err := c.persistManifestLocked(); err != nil {
+			delete(c.entries, name)
+			if exists {
+				c.entries[name] = old
+			}
+			return nil, false, fmt.Errorf("server: persisting catalog manifest: %w", err)
+		}
+		if exists && old.SHA256 != sum && !c.blobReferencedLocked(old.SHA256) {
+			_ = c.store.DeleteBlob(old.SHA256)
+		}
+	}
+	if c.metrics != nil {
+		c.metrics.IngestBytes.Add(float64(len(data)), tenantLabel(owner))
+		c.metrics.CatalogDatasets.Set(float64(len(c.entries)))
+		if exists {
+			c.metrics.CatalogBytes.Add(-float64(old.Bytes), tenantLabel(old.Tenant))
+		}
+		c.metrics.CatalogBytes.Add(float64(entry.Bytes), tenantLabel(owner))
+	}
 	return entry, exists, nil
+}
+
+// recordHitLocked bumps the parse-saved counters. Caller holds mu.
+func (c *Catalog) recordHitLocked() {
+	c.hits++
+	if c.metrics != nil {
+		c.metrics.CacheHits.Inc()
+	}
+}
+
+// tenantLabel renders an owner name as a metrics label (open-mode
+// uploads belong to the anonymous tenant).
+func tenantLabel(owner string) string {
+	if owner == "" {
+		return AnonymousTenant
+	}
+	return owner
+}
+
+// blobReferencedLocked reports whether any entry still references the
+// content hash. Caller holds mu.
+func (c *Catalog) blobReferencedLocked(sha string) bool {
+	for _, e := range c.entries {
+		if e.SHA256 == sha {
+			return true
+		}
+	}
+	return false
+}
+
+// persistManifestLocked rewrites the durable manifest from the current
+// entries. Caller holds mu.
+func (c *Catalog) persistManifestLocked() error {
+	manifest := make([]ManifestEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		manifest = append(manifest, ManifestEntry{
+			Name:            e.Name,
+			RequestedFormat: e.requestedFormat,
+			Tenant:          e.Tenant,
+			SHA256:          e.SHA256,
+			Bytes:           e.Bytes,
+			Created:         e.Created,
+		})
+	}
+	return c.store.SaveManifest(manifest)
+}
+
+// restore rebuilds the catalog from the attached store: every manifest
+// entry's blob is re-ingested (through the content-hash cache, so
+// shared content parses once). Problems are returned as warnings, one
+// per skipped entry — a missing blob must not block the rest.
+func (c *Catalog) restore() (warns []string) {
+	if c.store == nil {
+		return nil
+	}
+	manifest, err := c.store.LoadManifest()
+	if err != nil {
+		return []string{fmt.Sprintf("loading manifest: %v", err)}
+	}
+	for _, me := range manifest {
+		data, err := c.store.LoadBlob(me.SHA256)
+		if err != nil {
+			warns = append(warns, fmt.Sprintf("dataset %q: loading blob %s: %v", me.Name, me.SHA256, err))
+			continue
+		}
+		if _, _, err := c.put(me.Name, me.RequestedFormat, data, me.Tenant, 0, me.Created, false); err != nil {
+			warns = append(warns, fmt.Sprintf("dataset %q: re-ingesting: %v", me.Name, err))
+		}
+	}
+	return warns
 }
 
 // Get returns the named entry.
@@ -183,13 +322,30 @@ func (c *Catalog) Dataset(name string) (*dataset.Dataset, error) {
 }
 
 // Delete removes the named entry (its dataset may live on in the
-// content-hash cache until evicted).
+// content-hash cache until evicted). With a Store, the manifest is
+// rewritten and the blob removed once no entry references it.
 func (c *Catalog) Delete(name string) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	_, ok := c.entries[name]
+	e, ok := c.entries[name]
+	if !ok {
+		return false
+	}
 	delete(c.entries, name)
-	return ok
+	if c.store != nil {
+		if err := c.persistManifestLocked(); err != nil {
+			c.entries[name] = e // keep memory and disk agreeing
+			return false
+		}
+		if !c.blobReferencedLocked(e.SHA256) {
+			_ = c.store.DeleteBlob(e.SHA256)
+		}
+	}
+	if c.metrics != nil {
+		c.metrics.CatalogDatasets.Set(float64(len(c.entries)))
+		c.metrics.CatalogBytes.Add(-float64(e.Bytes), tenantLabel(e.Tenant))
+	}
+	return true
 }
 
 // List returns all entries sorted by name.
@@ -230,7 +386,7 @@ func (c *Catalog) LoadPath(full, format string) (*dataset.Dataset, error) {
 	key := cacheKey(sum, format)
 	c.mu.Lock()
 	if parsed, ok := c.cache[key]; ok {
-		c.hits++
+		c.recordHitLocked()
 		c.mu.Unlock()
 		return parsed.ds, nil
 	}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -14,6 +15,60 @@ import (
 
 // MaxBodyBytes caps a job-submission body (inline transactions included).
 const MaxBodyBytes = 32 << 20
+
+// tenantKey keys the authenticated *Tenant in a request context.
+type tenantKey struct{}
+
+// tenantFrom returns the request's authenticated tenant (nil in open
+// mode).
+func tenantFrom(ctx context.Context) *Tenant {
+	t, _ := ctx.Value(tenantKey{}).(*Tenant)
+	return t
+}
+
+// withAuth enforces API-key authentication when the manager has an
+// Auth config: GET /healthz and GET /metrics stay open (liveness probes
+// and scrapers don't carry tenant credentials); everything else needs a
+// valid key — 401 without one, 403 for an unknown one — and runs with
+// its tenant in the request context. Without an Auth config it is the
+// identity middleware.
+func withAuth(m *Manager, next http.Handler) http.Handler {
+	auth := m.cfg.Auth
+	if auth == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz", "/metrics":
+			next.ServeHTTP(w, r)
+			return
+		}
+		key := requestKey(r)
+		if key == "" {
+			m.metrics.AuthRejections.Inc("missing_key")
+			w.Header().Set("WWW-Authenticate", `Bearer realm="pfserve"`)
+			writeError(w, http.StatusUnauthorized, fmt.Errorf("missing API key (use Authorization: Bearer <key> or X-API-Key)"))
+			return
+		}
+		t, ok := auth.Lookup(key)
+		if !ok {
+			m.metrics.AuthRejections.Inc("bad_key")
+			writeError(w, http.StatusForbidden, fmt.Errorf("unknown API key"))
+			return
+		}
+		next.ServeHTTP(w, r.WithContext(context.WithValue(r.Context(), tenantKey{}, t)))
+	})
+}
+
+// mayMutate reports whether the request may mutate a resource owned by
+// owner: always in open mode, owner-only with auth enabled.
+func mayMutate(m *Manager, r *http.Request, owner string) bool {
+	if m.cfg.Auth == nil {
+		return true
+	}
+	t := tenantFrom(r.Context())
+	return t != nil && t.Name == owner
+}
 
 // Handler returns the pfserve HTTP API over m:
 //
@@ -35,15 +90,24 @@ const MaxBodyBytes = 32 << 20
 //	                         the content-hash cache hit count
 //	GET    /datasets/{name}  one catalog entry
 //	DELETE /datasets/{name}  remove a catalog entry
+//	GET    /metrics          Prometheus text exposition (see Metrics)
 //
 // Job specs reference uploads as {"dataset": {"catalog": "<name>"}};
 // the parsed dataset is shared across jobs and deduplicated by content
 // hash.
+//
+// With an Auth config every endpoint except GET /healthz and GET
+// /metrics requires an API key (401 missing, 403 unknown); submissions
+// beyond a tenant's active-job quota, uploads beyond its catalog byte
+// quota, and a full queue answer 429 with a Retry-After header; during
+// graceful shutdown submissions answer 503. Mutations (cancel/remove a
+// job, delete a dataset) are restricted to the owning tenant.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
 	})
+	mux.Handle("GET /metrics", m.Metrics().Registry().Handler())
 	mux.HandleFunc("GET /algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"algorithms": engine.Names()})
 	})
@@ -63,10 +127,16 @@ func Handler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid job spec: %w", err))
 			return
 		}
-		j, err := m.Submit(spec)
+		j, err := m.Submit(spec, tenantFrom(r.Context()))
+		var quota *QuotaError
 		switch {
 		case errors.Is(err, ErrQueueFull):
+			w.Header().Set("Retry-After", "1")
 			writeError(w, http.StatusTooManyRequests, err)
+		case errors.As(err, &quota):
+			writeQuotaError(w, quota)
+		case errors.Is(err, ErrDraining):
+			writeError(w, http.StatusServiceUnavailable, err)
 		case err != nil:
 			writeError(w, http.StatusBadRequest, err)
 		default:
@@ -112,6 +182,10 @@ func Handler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
+		if j, ok := m.Get(id); ok && !mayMutate(m, r, j.Tenant) {
+			writeError(w, http.StatusForbidden, fmt.Errorf("job %s belongs to another tenant", id))
+			return
+		}
 		if m.Cancel(id) {
 			writeJSON(w, http.StatusAccepted, map[string]any{"id": id, "canceling": true})
 			return
@@ -138,8 +212,23 @@ func Handler(m *Manager) http.Handler {
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
-		entry, replaced, err := m.Catalog().Put(r.PathValue("name"), r.URL.Query().Get("format"), body)
+		name := r.PathValue("name")
+		var owner string
+		var quota int64
+		if t := tenantFrom(r.Context()); t != nil {
+			owner, quota = t.Name, t.MaxCatalogBytes
+		}
+		if old, ok := m.Catalog().Get(name); ok && !mayMutate(m, r, old.Tenant) {
+			writeError(w, http.StatusForbidden, fmt.Errorf("dataset %q belongs to another tenant", name))
+			return
+		}
+		entry, replaced, err := m.Catalog().PutOwned(name, r.URL.Query().Get("format"), body, owner, quota)
 		if err != nil {
+			var qerr *QuotaError
+			if errors.As(err, &qerr) {
+				writeQuotaError(w, qerr)
+				return
+			}
 			writeError(w, http.StatusBadRequest, err)
 			return
 		}
@@ -165,13 +254,17 @@ func Handler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("DELETE /datasets/{name}", func(w http.ResponseWriter, r *http.Request) {
 		name := r.PathValue("name")
+		if e, ok := m.Catalog().Get(name); ok && !mayMutate(m, r, e.Tenant) {
+			writeError(w, http.StatusForbidden, fmt.Errorf("dataset %q belongs to another tenant", name))
+			return
+		}
 		if !m.Catalog().Delete(name) {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset"))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"name": name, "deleted": true})
 	})
-	return mux
+	return m.Metrics().observeHTTP(withAuth(m, mux))
 }
 
 // serveEvents writes the job's event log as NDJSON. With ?follow=1 it

@@ -10,11 +10,23 @@
 // GET /jobs/{id}/events streams the event log as NDJSON, GET
 // /jobs/{id}/result returns the mined patterns, DELETE /jobs/{id} cancels
 // a queued/running job or removes a finished one.
+//
+// Production hardening adds three optional layers (all nil-safe, so the
+// in-memory single-tenant behavior is unchanged when they are off):
+//
+//   - Persistence (Config.Store): write-ahead job records + results and
+//     a durable catalog manifest under the server's data directory, with
+//     crash recovery at startup — see Store.
+//   - Multi-tenancy (Config.Auth): per-tenant API keys and admission
+//     quotas (max active jobs, catalog byte budget) — see Auth.
+//   - Observability (Config.Metrics): Prometheus instruments fed by the
+//     engine's Observer event stream — see Metrics.
 package server
 
 import (
 	"context"
 	"fmt"
+	"log"
 	"runtime"
 	"sort"
 	"sync"
@@ -26,6 +38,7 @@ import (
 // State is a job's lifecycle state.
 type State string
 
+// The job lifecycle states: queued → running → done/failed/canceled.
 const (
 	StateQueued   State = "queued"
 	StateRunning  State = "running"
@@ -45,7 +58,8 @@ type Config struct {
 	// cap on in-flight (materialized) datasets. Defaults to 2.
 	Workers int
 	// QueueDepth bounds the backlog of queued jobs; submissions beyond it
-	// are rejected. Defaults to 16.
+	// are rejected. Defaults to 16. Jobs recovered from the Store at
+	// startup do not count against it.
 	QueueDepth int
 	// MaxCells caps the memory model of any job's dataset:
 	// |D|·|I| plus a fixed per-universe-item overhead charge (see
@@ -74,6 +88,19 @@ type Config struct {
 	// MaxUploadBytes caps one PUT /datasets/{name} body. Defaults to
 	// 32 MiB; negative disables uploads.
 	MaxUploadBytes int64
+	// Store, when non-nil, makes the manager restart-safe: job records
+	// are written ahead of acknowledgment, results and the dataset
+	// catalog are persisted, and NewManager recovers all of it —
+	// completed results reload, queued and crash-interrupted jobs
+	// re-enqueue. Nil keeps everything in memory.
+	Store *Store
+	// Auth, when non-nil, holds the tenant set for API-key
+	// authentication and per-tenant admission quotas. Nil is open mode:
+	// one implicit anonymous tenant, no quotas.
+	Auth *Auth
+	// Metrics receives the server's Prometheus instruments; nil makes
+	// NewManager create a private registry (never nil afterwards).
+	Metrics *Metrics
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +128,9 @@ func (c Config) withDefaults() Config {
 			c.MaxParallelism = 1
 		}
 	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics(nil)
+	}
 	return c
 }
 
@@ -111,6 +141,7 @@ type Job struct {
 	Spec    JobSpec `json:"spec"`
 	State   State   `json:"state"`
 	Error   string  `json:"error,omitempty"`
+	Tenant  string  `json:"tenant,omitempty"`
 	Created time.Time
 	Started time.Time
 	Ended   time.Time
@@ -126,34 +157,90 @@ type Job struct {
 // Manager owns the job table, the bounded queue, the worker pool, and
 // the dataset catalog.
 type Manager struct {
-	cfg     Config
-	catalog *Catalog
-	mu      sync.Mutex
-	cond    *sync.Cond // broadcast on any job state/event change
-	jobs    map[string]*Job
-	queue   chan *Job
-	next    int
-	wg      sync.WaitGroup
-	root    context.Context
-	stop    context.CancelFunc
+	cfg      Config
+	catalog  *Catalog
+	store    *Store
+	metrics  *Metrics
+	mu       sync.Mutex
+	cond     *sync.Cond // broadcast on any job state/event change
+	jobs     map[string]*Job
+	queue    chan *Job
+	next     int
+	draining bool
+	closed   bool
+	wg       sync.WaitGroup
+	root     context.Context
+	stop     context.CancelFunc
 }
 
 // Catalog returns the manager's dataset catalog.
 func (m *Manager) Catalog() *Catalog { return m.catalog }
 
-// NewManager starts a manager with cfg.Workers runner goroutines.
+// Metrics returns the manager's instrument bundle (never nil).
+func (m *Manager) Metrics() *Metrics { return m.cfg.Metrics }
+
+// NewManager starts a manager with cfg.Workers runner goroutines. With
+// cfg.Store set it first recovers durable state: catalog entries are
+// re-ingested from their blobs, terminal jobs reload with their
+// persisted results, and queued or crash-interrupted ("running" on
+// disk) jobs are re-enqueued in original submission order — the
+// engine's determinism contract makes re-running them safe. Recovery
+// problems (a corrupt record, a missing blob) are logged and skipped,
+// never fatal.
 func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	root, stop := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:     cfg,
+		store:   cfg.Store,
+		metrics: cfg.Metrics,
 		catalog: NewCatalog(cfg.MaxCells),
 		jobs:    make(map[string]*Job),
-		queue:   make(chan *Job, cfg.QueueDepth),
 		root:    root,
 		stop:    stop,
 	}
 	m.cond = sync.NewCond(&m.mu)
+	m.catalog.store = cfg.Store
+	m.catalog.metrics = cfg.Metrics
+
+	var resume []*Job
+	if m.store != nil {
+		for _, w := range m.catalog.restore() {
+			log.Printf("server: catalog recovery: %s", w)
+		}
+		recs, warns, err := m.store.LoadJobs()
+		if err != nil {
+			log.Printf("server: job recovery: %v", err)
+		}
+		for _, w := range warns {
+			log.Printf("server: job recovery: %s", w)
+		}
+		for i := range recs {
+			j := m.recoverJob(recs[i])
+			m.jobs[j.ID] = j
+			if j.seq > m.next {
+				m.next = j.seq
+			}
+			if !j.State.Terminal() {
+				resume = append(resume, j)
+			}
+		}
+	}
+
+	m.queue = make(chan *Job, cfg.QueueDepth+len(resume))
+	for _, j := range resume {
+		j.State = StateQueued
+		j.Started, j.Ended = time.Time{}, time.Time{}
+		j.Error = ""
+		if err := m.persistJobLocked(j); err != nil {
+			log.Printf("server: checkpointing recovered job %s: %v", j.ID, err)
+		}
+		m.queue <- j
+		m.metrics.JobsResumed.Inc()
+		m.metrics.JobsActive.Inc(string(StateQueued))
+	}
+	m.metrics.QueueDepth.Set(float64(len(m.queue)))
+
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -161,11 +248,47 @@ func NewManager(cfg Config) *Manager {
 	return m
 }
 
-// Close cancels every job, stops the workers, and waits for them.
+// recoverJob rebuilds one in-memory job from its durable record,
+// loading the persisted result for terminal states. A "done" record
+// whose result file is unreadable is demoted to queued so the job
+// re-runs instead of serving a 409 forever.
+func (m *Manager) recoverJob(rec JobRecord) *Job {
+	j := &Job{
+		ID:      rec.ID,
+		seq:     rec.Seq,
+		Tenant:  rec.Tenant,
+		Spec:    rec.Spec,
+		State:   rec.State,
+		Error:   rec.Error,
+		Created: rec.Created,
+		Started: rec.Started,
+		Ended:   rec.Ended,
+	}
+	if j.State.Terminal() {
+		rep, ok, err := m.store.LoadResult(j.ID)
+		if err != nil {
+			log.Printf("server: loading result of %s: %v", j.ID, err)
+		}
+		if ok {
+			j.report = rep
+		} else if j.State == StateDone {
+			j.State = StateQueued
+		}
+	}
+	return j
+}
+
+// Close cancels every job, stops the workers, and waits for them. It is
+// the hard stop: running jobs are cut off and their durable records are
+// checkpointed back to queued (see run), so with a Store they resume on
+// the next start. Idempotent.
 func (m *Manager) Close() {
 	m.stop()
 	m.mu.Lock()
-	close(m.queue)
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
 	for _, j := range m.jobs {
 		if j.cancel != nil {
 			j.cancel()
@@ -176,37 +299,152 @@ func (m *Manager) Close() {
 	m.wg.Wait()
 }
 
-// Submit validates spec and enqueues a new job. It returns an error when
-// the spec is invalid; a full queue returns ErrQueueFull.
-func (m *Manager) Submit(spec JobSpec) (*Job, error) {
+// Shutdown stops the manager gracefully: admission stops immediately
+// (Submit returns ErrDraining), queued and running jobs are given until
+// ctx expires to finish — their results are persisted as they complete
+// — and whatever remains is then canceled and checkpointed back to
+// queued in the job store, to be resumed by the next start. It returns
+// the number of jobs that were still unfinished (checkpointed or, with
+// no Store, lost).
+func (m *Manager) Shutdown(ctx context.Context) int {
+	m.mu.Lock()
+	m.draining = true
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		for m.root.Err() == nil && m.activeLocked() > 0 {
+			m.cond.Wait()
+		}
+	}()
+	select {
+	case <-drained:
+	case <-ctx.Done():
+	}
+	m.Close() // cancels stragglers; run() checkpoints them to queued
+	<-drained // Close broadcast + root cancel release the waiter
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.activeLocked()
+}
+
+// activeLocked counts non-terminal jobs. Caller holds mu.
+func (m *Manager) activeLocked() int {
+	n := 0
+	for _, j := range m.jobs {
+		if !j.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// activeForLocked counts tenant's non-terminal jobs. Caller holds mu.
+func (m *Manager) activeForLocked(tenant string) int {
+	n := 0
+	for _, j := range m.jobs {
+		if j.Tenant == tenant && !j.State.Terminal() {
+			n++
+		}
+	}
+	return n
+}
+
+// tenantName normalizes a possibly-nil tenant to its metrics/record
+// label.
+func tenantName(t *Tenant) string {
+	if t == nil {
+		return AnonymousTenant
+	}
+	return t.Name
+}
+
+// ErrQueueFull is returned by Submit when the backlog is at QueueDepth.
+var ErrQueueFull = fmt.Errorf("server: job queue is full")
+
+// ErrDraining is returned by Submit once Shutdown has begun: the server
+// finishes its backlog but admits nothing new.
+var ErrDraining = fmt.Errorf("server: shutting down, not accepting jobs")
+
+// Submit validates spec and enqueues a new job on behalf of tenant
+// (nil = anonymous, no quota). It returns an error when the spec is
+// invalid, a *QuotaError when the tenant is at its active-job quota,
+// ErrQueueFull when the backlog is at QueueDepth, and ErrDraining
+// during shutdown. With a Store, the job record is persisted before
+// Submit returns — the write-ahead guarantee: an acknowledged job is
+// never lost to a crash.
+func (m *Manager) Submit(spec JobSpec, tenant *Tenant) (*Job, error) {
 	if err := spec.validate(m.cfg, m.catalog); err != nil {
 		return nil, err
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.root.Err() != nil {
-		return nil, fmt.Errorf("server: manager is shut down")
+	if m.root.Err() != nil || m.draining {
+		return nil, ErrDraining
+	}
+	name := tenantName(tenant)
+	if tenant != nil && tenant.MaxActiveJobs > 0 && m.activeForLocked(name) >= tenant.MaxActiveJobs {
+		m.metrics.AuthRejections.Inc("job_quota")
+		return nil, &QuotaError{
+			Msg:        fmt.Sprintf("server: tenant %q is at its quota of %d active jobs", name, tenant.MaxActiveJobs),
+			RetryAfter: 1,
+		}
 	}
 	m.next++
 	j := &Job{
 		ID:      fmt.Sprintf("job-%d", m.next),
 		seq:     m.next,
+		Tenant:  name,
 		Spec:    spec,
 		State:   StateQueued,
 		Created: time.Now(),
 	}
+	// Write-ahead: the record must be durable before the job is visible
+	// anywhere else; a crash after this point re-enqueues it at startup.
+	if err := m.persistJobLocked(j); err != nil {
+		m.next--
+		return nil, fmt.Errorf("server: persisting job record: %w", err)
+	}
 	select {
 	case m.queue <- j:
 	default:
+		if m.store != nil {
+			_ = m.store.DeleteJob(j.ID)
+		}
+		m.next--
+		m.metrics.AuthRejections.Inc("queue_full")
 		return nil, ErrQueueFull
 	}
 	m.jobs[j.ID] = j
+	m.metrics.JobsTotal.Inc(string(StateQueued), name)
+	m.metrics.JobsActive.Inc(string(StateQueued))
+	m.metrics.QueueDepth.Set(float64(len(m.queue)))
 	m.cond.Broadcast()
 	return j, nil
 }
 
-// ErrQueueFull is returned by Submit when the backlog is at QueueDepth.
-var ErrQueueFull = fmt.Errorf("server: job queue is full")
+// persistJobLocked writes the job's current state to the store (no-op
+// without one). Caller holds mu.
+func (m *Manager) persistJobLocked(j *Job) error {
+	if m.store == nil {
+		return nil
+	}
+	return m.store.SaveJob(JobRecord{
+		ID:      j.ID,
+		Seq:     j.seq,
+		Tenant:  j.Tenant,
+		Spec:    j.Spec,
+		State:   j.State,
+		Error:   j.Error,
+		Created: j.Created,
+		Started: j.Started,
+		Ended:   j.Ended,
+	})
+}
 
 // Get returns the job with the given id.
 func (m *Manager) Get(id string) (*Job, bool) {
@@ -216,7 +454,7 @@ func (m *Manager) Get(id string) (*Job, bool) {
 	return j, ok
 }
 
-// Cancel cancels a queued or running job (returning true) ; canceling a
+// Cancel cancels a queued or running job (returning true); canceling a
 // terminal or unknown job returns false.
 func (m *Manager) Cancel(id string) bool {
 	m.mu.Lock()
@@ -230,6 +468,11 @@ func (m *Manager) Cancel(id string) bool {
 		// The worker will observe userCancel when it dequeues.
 		j.State = StateCanceled
 		j.Ended = time.Now()
+		m.metrics.JobsActive.Dec(string(StateQueued))
+		m.metrics.JobsTotal.Inc(string(StateCanceled), j.Tenant)
+		if err := m.persistJobLocked(j); err != nil {
+			log.Printf("server: persisting cancel of %s: %v", j.ID, err)
+		}
 	}
 	if j.cancel != nil {
 		j.cancel()
@@ -238,8 +481,8 @@ func (m *Manager) Cancel(id string) bool {
 	return true
 }
 
-// Remove deletes a terminal job's record, returning false for active or
-// unknown jobs.
+// Remove deletes a terminal job's record (and its durable files),
+// returning false for active or unknown jobs.
 func (m *Manager) Remove(id string) bool {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -248,6 +491,11 @@ func (m *Manager) Remove(id string) bool {
 		return false
 	}
 	delete(m.jobs, id)
+	if m.store != nil {
+		if err := m.store.DeleteJob(id); err != nil {
+			log.Printf("server: deleting job files of %s: %v", id, err)
+		}
+	}
 	return true
 }
 
@@ -272,11 +520,23 @@ func (m *Manager) worker() {
 }
 
 // run executes one job: materialize the dataset, then mine under a
-// per-job deadline context.
+// per-job deadline context. A run cut short by server shutdown (rather
+// than by its own deadline or a user cancel) is checkpointed back to
+// queued — durable record included — so a restart re-runs it; the
+// determinism contract makes the re-run byte-identical.
 func (m *Manager) run(j *Job) {
 	m.mu.Lock()
 	if j.State != StateQueued { // canceled while queued
 		m.mu.Unlock()
+		m.metrics.QueueDepth.Set(float64(len(m.queue)))
+		return
+	}
+	if m.root.Err() != nil && !j.userCancel {
+		// Shutdown began before this job started: its durable record
+		// already says queued, so just leave it for the next start
+		// instead of materializing a dataset only to cancel the mine.
+		m.mu.Unlock()
+		m.metrics.QueueDepth.Set(float64(len(m.queue)))
 		return
 	}
 	timeout := m.cfg.DefaultTimeout
@@ -287,14 +547,38 @@ func (m *Manager) run(j *Job) {
 	j.cancel = cancel
 	j.State = StateRunning
 	j.Started = time.Now()
+	if err := m.persistJobLocked(j); err != nil {
+		log.Printf("server: persisting start of %s: %v", j.ID, err)
+	}
+	m.metrics.JobsActive.Dec(string(StateQueued))
+	m.metrics.JobsActive.Inc(string(StateRunning))
+	m.metrics.JobsTotal.Inc(string(StateRunning), j.Tenant)
+	m.metrics.QueueDepth.Set(float64(len(m.queue)))
 	m.cond.Broadcast()
 	m.mu.Unlock()
 	defer cancel()
 
+	started := time.Now()
 	rep, err := m.mine(ctx, j)
+	elapsed := time.Since(started)
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	m.metrics.JobsActive.Dec(string(StateRunning))
+	if m.root.Err() != nil && !j.userCancel && err == nil {
+		// Shutdown interruption: drop the partial run and checkpoint the
+		// job back to queued for the next start.
+		j.State = StateQueued
+		j.Started, j.Ended = time.Time{}, time.Time{}
+		j.events, j.eventsBase = nil, 0
+		j.cancel = nil
+		if perr := m.persistJobLocked(j); perr != nil {
+			log.Printf("server: checkpointing %s at shutdown: %v", j.ID, perr)
+		}
+		m.metrics.JobsActive.Inc(string(StateQueued))
+		m.cond.Broadcast()
+		return
+	}
 	j.Ended = time.Now()
 	switch {
 	case err != nil:
@@ -306,6 +590,20 @@ func (m *Manager) run(j *Job) {
 	default:
 		j.State = StateDone
 		j.report = rep
+	}
+	m.metrics.JobsTotal.Inc(string(j.State), j.Tenant)
+	m.metrics.observeMine(j.Spec.Algorithm, elapsed)
+	if m.store != nil {
+		// Result before record: a record that says "done" must always
+		// find its result on disk (recovery demotes it otherwise).
+		if j.report != nil {
+			if serr := m.store.SaveResult(j.ID, j.report); serr != nil {
+				log.Printf("server: persisting result of %s: %v", j.ID, serr)
+			}
+		}
+		if perr := m.persistJobLocked(j); perr != nil {
+			log.Printf("server: persisting end of %s: %v", j.ID, perr)
+		}
 	}
 	m.cond.Broadcast()
 }
@@ -335,7 +633,13 @@ func (m *Manager) mine(ctx context.Context, j *Job) (rep *engine.Report, err err
 	if max := m.cfg.MaxParallelism; max > 0 && (opts.Parallelism <= 0 || opts.Parallelism > max) {
 		opts.Parallelism = max
 	}
-	opts.Observer = func(e engine.Event) { m.appendEvent(j, e) }
+	// One stream of events, two sinks: the job's event log and the
+	// Prometheus event counter — which is what makes the /metrics
+	// counters reconcile with the event log by construction.
+	opts.Observer = engine.FanOut(
+		func(e engine.Event) { m.appendEvent(j, e) },
+		engine.CountEvents(m.metrics.EventsTotal),
+	)
 	return alg.Mine(ctx, d, opts)
 }
 
@@ -361,6 +665,7 @@ type Snapshot struct {
 	Algorithm string        `json:"algorithm"`
 	State     State         `json:"state"`
 	Error     string        `json:"error,omitempty"`
+	Tenant    string        `json:"tenant,omitempty"`
 	Created   time.Time     `json:"created_at"`
 	Started   *time.Time    `json:"started_at,omitempty"`
 	Ended     *time.Time    `json:"ended_at,omitempty"`
@@ -379,6 +684,7 @@ func (m *Manager) Snapshot(j *Job) Snapshot {
 		Algorithm: j.Spec.Algorithm,
 		State:     j.State,
 		Error:     j.Error,
+		Tenant:    j.Tenant,
 		Created:   j.Created,
 		Events:    j.eventsBase + len(j.events),
 	}

@@ -10,8 +10,10 @@
 //
 // With no arguments it audits the default set: the public root package,
 // internal/engine (the contract every miner implements), internal/ingest
-// (the dataset ingestion surface), and the four substrate packages
-// (bitset, itemset, rng, fptree). Exit status 1 and one "path: symbol"
+// (the dataset ingestion surface), the four substrate packages
+// (bitset, itemset, rng, fptree), and the serving surface —
+// internal/server (jobs, catalog, persistence, tenancy) and
+// internal/metrics (the Prometheus registry). Exit status 1 and one "path: symbol"
 // line per finding when anything is undocumented.
 package main
 
@@ -35,6 +37,8 @@ var defaultDirs = []string{
 	"internal/itemset",
 	"internal/rng",
 	"internal/fptree",
+	"internal/metrics",
+	"internal/server",
 }
 
 func main() {

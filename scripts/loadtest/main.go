@@ -1,0 +1,368 @@
+// Command loadtest drives a pfserve instance with a concurrent job mix
+// and records a throughput/latency summary — the artifact behind
+// BENCH_5.json and the CI loadtest smoke.
+//
+// Usage:
+//
+//	go run ./scripts/loadtest                      # self-hosted server, stdout summary
+//	go run ./scripts/loadtest -out BENCH_5.json    # record the artifact
+//	go run ./scripts/loadtest -url http://host:8080 -key <api-key>
+//
+// With no -url it starts an in-process pfserve (the same Manager +
+// Handler the binary serves) on a loopback listener, so the measured
+// path includes real HTTP, JSON and scheduling costs. Each of
+// -concurrency client goroutines round-robins over the -algorithms mix:
+// submit (retrying 429 per its Retry-After), poll to terminal, fetch the
+// result. At the end the harness scrapes /metrics and fails unless the
+// exposition is non-empty and every job ended "done" — which is what
+// makes it double as an end-to-end smoke test.
+//
+// The JSON summary reports wall time, jobs/sec, submit and completion
+// latency percentiles, 429 retries, and the job-related /metrics samples
+// so the run can be reconciled against the server's own counters. See
+// docs/operations.md for the recorded baseline.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	_ "repro/internal/engine/all"
+	"repro/internal/server"
+)
+
+// jobResult is one submitted job's measured lifecycle.
+type jobResult struct {
+	algorithm string
+	state     string
+	submitMS  float64 // POST /jobs round-trip
+	totalMS   float64 // submit → terminal state observed
+	retries   int     // 429-then-retry count before acceptance
+	err       error
+}
+
+// summary is the recorded loadtest artifact (BENCH_5.json).
+type summary struct {
+	Harness       string             `json:"harness"`
+	Go            string             `json:"go"`
+	GOOS          string             `json:"goos"`
+	GOARCH        string             `json:"goarch"`
+	SelfHosted    bool               `json:"self_hosted"`
+	Workers       int                `json:"workers,omitempty"`
+	Jobs          int                `json:"jobs"`
+	Concurrency   int                `json:"concurrency"`
+	Algorithms    []string           `json:"algorithms"`
+	Dataset       string             `json:"dataset"`
+	WallSeconds   float64            `json:"wall_seconds"`
+	JobsPerSecond float64            `json:"jobs_per_second"`
+	SubmitMS      map[string]float64 `json:"submit_latency_ms"`
+	CompleteMS    map[string]float64 `json:"complete_latency_ms"`
+	Retries429    int                `json:"retries_429"`
+	Done          int                `json:"jobs_done"`
+	Failed        int                `json:"jobs_failed"`
+	Metrics       map[string]float64 `json:"server_metrics"`
+}
+
+func main() {
+	var (
+		url    = flag.String("url", "", "pfserve base URL; empty self-hosts an in-process server")
+		key    = flag.String("key", "", "API key for an auth-enabled server")
+		jobs   = flag.Int("jobs", 48, "total jobs to submit")
+		conc   = flag.Int("concurrency", 8, "concurrent client goroutines")
+		algos  = flag.String("algorithms", "fusion,apriori,eclat,fpgrowth", "comma-separated algorithm mix")
+		n      = flag.Int("n", 16, "diagplus generator size (the per-job workload)")
+		wrk    = flag.Int("workers", 2, "worker pool size of the self-hosted server")
+		out    = flag.String("out", "", "summary output file (empty = stdout)")
+		silent = flag.Bool("q", false, "suppress progress logging")
+	)
+	flag.Parse()
+
+	base := *url
+	selfHosted := base == ""
+	if selfHosted {
+		mgr := server.NewManager(server.Config{Workers: *wrk, QueueDepth: *jobs + *conc})
+		ts := httptest.NewServer(server.Handler(mgr))
+		defer func() {
+			ts.Close()
+			mgr.Close()
+		}()
+		base = ts.URL
+	}
+	base = strings.TrimRight(base, "/")
+
+	mix := strings.Split(*algos, ",")
+	spec := func(alg string) string {
+		return fmt.Sprintf(`{"algorithm": %q, "dataset": {"generator": "diagplus", "n": %d, "extra_rows": %d, "extra_cols": %d}, "options": {"min_count": %d, "k": 20, "seed": 7}}`,
+			alg, *n, *n/2, *n-1, *n/3+1)
+	}
+
+	results := make([]jobResult, *jobs)
+	var idx int64
+	var mu sync.Mutex
+	next := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if idx >= int64(*jobs) {
+			return -1
+		}
+		i := int(idx)
+		idx++
+		return i
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *conc; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next()
+				if i < 0 {
+					return
+				}
+				alg := mix[i%len(mix)]
+				results[i] = runJob(base, *key, alg, spec(alg))
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	sum := summary{
+		Harness:     "scripts/loadtest",
+		Go:          runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		SelfHosted:  selfHosted,
+		Jobs:        *jobs,
+		Concurrency: *conc,
+		Algorithms:  mix,
+		Dataset:     fmt.Sprintf("diagplus n=%d", *n),
+		WallSeconds: round3(wall.Seconds()),
+		SubmitMS:    map[string]float64{},
+		CompleteMS:  map[string]float64{},
+		Metrics:     map[string]float64{},
+	}
+	if selfHosted {
+		sum.Workers = *wrk
+	}
+	var submits, totals []float64
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %s job: %v\n", r.algorithm, r.err)
+			sum.Failed++
+			continue
+		}
+		switch r.state {
+		case "done":
+			sum.Done++
+		default:
+			fmt.Fprintf(os.Stderr, "loadtest: %s job ended %q\n", r.algorithm, r.state)
+			sum.Failed++
+		}
+		sum.Retries429 += r.retries
+		submits = append(submits, r.submitMS)
+		totals = append(totals, r.totalMS)
+	}
+	sum.JobsPerSecond = round3(float64(sum.Done) / wall.Seconds())
+	for _, p := range []float64{50, 95, 99} {
+		label := "p" + strconv.Itoa(int(p))
+		sum.SubmitMS[label] = round3(percentile(submits, p))
+		sum.CompleteMS[label] = round3(percentile(totals, p))
+	}
+
+	scrape, err := scrapeMetrics(base, *key)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "loadtest: scraping /metrics: %v\n", err)
+		os.Exit(1)
+	}
+	sum.Metrics = scrape
+
+	enc, _ := json.MarshalIndent(sum, "", "  ")
+	enc = append(enc, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, enc, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "loadtest: %v\n", err)
+			os.Exit(1)
+		}
+		if !*silent {
+			fmt.Fprintf(os.Stderr, "loadtest: wrote %s\n", *out)
+		}
+	} else {
+		os.Stdout.Write(enc)
+	}
+	if !*silent {
+		fmt.Fprintf(os.Stderr, "loadtest: %d/%d done in %.2fs (%.2f jobs/s), %d retries\n",
+			sum.Done, sum.Jobs, sum.WallSeconds, sum.JobsPerSecond, sum.Retries429)
+	}
+	if sum.Failed > 0 || sum.Done != sum.Jobs {
+		fmt.Fprintf(os.Stderr, "loadtest: FAILED — %d of %d jobs did not complete\n", sum.Failed, sum.Jobs)
+		os.Exit(1)
+	}
+	if len(scrape) == 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: FAILED — /metrics exposition had no pfserve samples")
+		os.Exit(1)
+	}
+}
+
+// runJob submits one job and follows it to a terminal state.
+func runJob(base, key, alg, spec string) jobResult {
+	r := jobResult{algorithm: alg}
+	client := &http.Client{Timeout: 30 * time.Second}
+	start := time.Now()
+
+	var id string
+	for {
+		req, err := http.NewRequest(http.MethodPost, base+"/jobs", strings.NewReader(spec))
+		if err != nil {
+			r.err = err
+			return r
+		}
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		t0 := time.Now()
+		resp, err := client.Do(req)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusTooManyRequests {
+			r.retries++
+			retry := 1
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				retry = ra
+			}
+			time.Sleep(time.Duration(retry) * time.Second / 4) // quarter the hint: this is a load generator
+			continue
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			r.err = fmt.Errorf("submit: %d %s", resp.StatusCode, strings.TrimSpace(string(body)))
+			return r
+		}
+		r.submitMS = float64(time.Since(t0)) / float64(time.Millisecond)
+		var sub struct {
+			ID string `json:"id"`
+		}
+		if err := json.Unmarshal(body, &sub); err != nil {
+			r.err = err
+			return r
+		}
+		id = sub.ID
+		break
+	}
+
+	deadline := time.Now().Add(5 * time.Minute)
+	for {
+		req, _ := http.NewRequest(http.MethodGet, base+"/jobs/"+id, nil)
+		if key != "" {
+			req.Header.Set("Authorization", "Bearer "+key)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			r.err = err
+			return r
+		}
+		var snap struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&snap)
+		resp.Body.Close()
+		if err != nil {
+			r.err = err
+			return r
+		}
+		switch snap.State {
+		case "done", "failed", "canceled":
+			r.state = snap.State
+			r.totalMS = float64(time.Since(start)) / float64(time.Millisecond)
+			if snap.State == "failed" {
+				r.err = fmt.Errorf("job failed: %s", snap.Error)
+			}
+			return r
+		}
+		if time.Now().After(deadline) {
+			r.err = fmt.Errorf("job %s still %q after 5m", id, snap.State)
+			return r
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+}
+
+// scrapeMetrics pulls /metrics and returns the pfserve job/queue samples
+// worth recording alongside the client-side numbers.
+func scrapeMetrics(base, key string) (map[string]float64, error) {
+	req, err := http.NewRequest(http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	if key != "" {
+		req.Header.Set("Authorization", "Bearer "+key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	keep := map[string]float64{}
+	for _, line := range strings.Split(string(body), "\n") {
+		if !strings.HasPrefix(line, "pfserve_jobs_total") &&
+			!strings.HasPrefix(line, "pfserve_engine_events_total") &&
+			!strings.HasPrefix(line, "pfserve_queue_depth") &&
+			!strings.HasPrefix(line, "pfserve_mine_duration_seconds_count") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			continue
+		}
+		keep[fields[0]] = v
+	}
+	return keep, nil
+}
+
+// percentile returns the p-th percentile of values (nearest-rank).
+func percentile(values []float64, p float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), values...)
+	sort.Float64s(s)
+	rank := int(p/100*float64(len(s))+0.5) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(s) {
+		rank = len(s) - 1
+	}
+	return s[rank]
+}
+
+// round3 rounds to three decimals for stable, readable artifacts.
+func round3(v float64) float64 { return float64(int64(v*1000+0.5)) / 1000 }
