@@ -25,6 +25,7 @@ import (
 	"repro/internal/maximal"
 	"repro/internal/quality"
 	"repro/internal/rng"
+	"repro/internal/tidset"
 	"repro/internal/topk"
 )
 
@@ -444,6 +445,57 @@ func BenchmarkEngineTopKMicroarray(b *testing.B) {
 	d, _ := microFixture(b)
 	b.ResetTimer()
 	benchEngineParallelism(b, "topk", d, patternfusion.Options{MinCount: 28, K: 5000, MinSize: 5})
+}
+
+// ---------------------------------------------------------------------------
+// Charm hot-path micro-benchmarks over the compressed TID-set substrate:
+// the closure probe and the pooled intersection are the two kernels every
+// closed-pattern emission runs, so their allocs/op must stay at zero for
+// the miner-level numbers above to hold.
+
+// BenchmarkEngineCharmClosureProbe measures the counting-based closure on
+// the TID-sets of real closed patterns from the Replace workload — a mix
+// of dense word-walks and sparse element-walks, exactly as charm sees it.
+func BenchmarkEngineCharmClosureProbe(b *testing.B) {
+	d, _, _ := replaceFixture(b)
+	pats := charm.Mine(d, d.MinCount(0.03)).Patterns
+	closer := dataset.NewCloser(d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(closer.Closure(pats[i%len(pats)].TIDs)) == 0 {
+			b.Fatal("empty closure")
+		}
+	}
+}
+
+// BenchmarkEngineCharmIntersect measures charm's inner-loop step — a
+// pooled sub.AndOf(prefixTIDs, itemColumn) over every item column of the
+// Replace dataset — which must run allocation-free.
+func BenchmarkEngineCharmIntersect(b *testing.B) {
+	d, _, _ := replaceFixture(b)
+	pool := tidset.NewPool(d.Size())
+	all := tidset.Full(d.Size())
+	n := d.NumItems()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sub := pool.Get()
+		sub.AndOf(all, d.ItemTIDs(i%n))
+		pool.Put(sub)
+	}
+}
+
+// BenchmarkEngineCharmAndCountAtLeast measures the early-exit support
+// bound over pairs of real item columns (the frequency prune charm and
+// the fusion ball search both run before materializing an intersection).
+func BenchmarkEngineCharmAndCountAtLeast(b *testing.B) {
+	d, _, _ := replaceFixture(b)
+	minCount := d.MinCount(0.03)
+	n := d.NumItems()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := d.ItemTIDs(i%n), d.ItemTIDs((i+7)%n)
+		x.AndCountAtLeast(y, minCount)
+	}
 }
 
 // ---------------------------------------------------------------------------

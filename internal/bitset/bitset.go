@@ -143,6 +143,17 @@ func (b *Bitset) InPlaceAndNot(o *Bitset) {
 	}
 }
 
+// AndOf sets b = a ∩ o without allocating. All three capacities must
+// match; b may alias a or o. It is the scratch-buffer form of And for
+// recursion that reuses per-depth result bitsets.
+func (b *Bitset) AndOf(a, o *Bitset) {
+	b.mustMatch(a)
+	a.mustMatch(o)
+	for i := range b.words {
+		b.words[i] = a.words[i] & o.words[i]
+	}
+}
+
 // And returns a new bitset b ∩ o.
 func (b *Bitset) And(o *Bitset) *Bitset {
 	c := b.Clone()

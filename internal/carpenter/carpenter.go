@@ -39,6 +39,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/itemset"
+	"repro/internal/tidset"
 )
 
 // Options configures a mining run.
@@ -102,7 +103,9 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	var tasks []frontierTask
 	root.spawn = func(rsize int, x *bitset.Bitset, next int) {
 		tasks = append(tasks, frontierTask{
-			rsize: rsize, x: x, next: next,
+			// x is a freelist buffer the dispatcher will recycle: the task
+			// snapshot needs its own copy.
+			rsize: rsize, x: x.Clone(), next: next,
 			inSet: append([]bool(nil), root.inSet...),
 		})
 	}
@@ -147,9 +150,22 @@ type miner struct {
 	n     int
 	rows  []*bitset.Bitset
 	inSet []bool // inSet[r] = row r is in the current row set
+	// free recycles intersection bitsets: one buffer per recursion depth in
+	// steady state instead of one allocation per explored branch.
+	free []*bitset.Bitset
 	// spawn, when non-nil, intercepts recursion at spawnDepth: the
 	// dispatcher collects the pending call as a task instead of descending.
 	spawn func(rsize int, x *bitset.Bitset, next int)
+}
+
+// grabX returns a reusable intersection buffer over item IDs.
+func (m *miner) grabX() *bitset.Bitset {
+	if k := len(m.free); k > 0 {
+		b := m.free[k-1]
+		m.free = m.free[:k-1]
+		return b
+	}
+	return bitset.New(m.d.NumItems())
 }
 
 // visit records one search node with the meter and latches cancellation
@@ -217,15 +233,18 @@ func (m *miner) enumerate(rsize int, x *bitset.Bitset, next, depth int) {
 		if rsize+len(rest)-i < m.opts.MinCount {
 			return
 		}
-		nx := x.And(m.rows[r])
+		nx := m.grabX()
+		nx.AndOf(x, m.rows[r])
 		// Min-size pruning: intersections only shrink as rows are added.
 		// One popcount serves both the emptiness and the min-size test.
 		if c := nx.Count(); c == 0 || c < m.opts.MinSize {
+			m.free = append(m.free, nx)
 			continue
 		}
 		m.inSet[r] = true
 		m.enumerate(rsize+1, nx, r+1, depth+1)
 		m.inSet[r] = false
+		m.free = append(m.free, nx)
 		if m.res.Stopped {
 			return
 		}
@@ -234,15 +253,16 @@ func (m *miner) enumerate(rsize int, x *bitset.Bitset, next, depth int) {
 
 func (m *miner) emit(x *bitset.Bitset, support int) {
 	items := itemset.Itemset(x.Indices())
-	tids := bitset.New(m.n)
+	rows := make([]int, 0, support)
 	for r := 0; r < m.n; r++ {
 		if m.inSet[r] {
-			tids.Set(r)
+			rows = append(rows, r)
 		}
 	}
-	if tids.Count() != support {
+	if len(rows) != support {
 		panic("carpenter: internal row-set bookkeeping error")
 	}
 	m.meter.Emitted(1)
-	m.res.Patterns = append(m.res.Patterns, dataset.NewPatternCounted(items, tids, support))
+	m.res.Patterns = append(m.res.Patterns,
+		dataset.NewPatternCounted(items, tidset.FromIndices(m.n, rows), support))
 }

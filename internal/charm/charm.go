@@ -20,15 +20,22 @@
 // engine.Tasks work-stealing scheduler. Per-task patterns and visit counts
 // merge in task order — the result is bit-identical for every worker
 // count.
+//
+// Allocation discipline: every branch TID-set is a pooled scratch set
+// (computed in place with AndOf, returned to the worker's pool when the
+// branch closes), closures come out of a counting dataset.Closer instead
+// of an Intersect chain, and the itemsets and TID-sets a pattern retains
+// are carved from per-worker arenas. The per-node cost is O(1) amortized
+// allocations instead of one tidset + one itemset chain per node.
 package charm
 
 import (
 	"context"
 
-	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/itemset"
+	"repro/internal/tidset"
 )
 
 // Options configures a mining run.
@@ -65,23 +72,26 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	}
 	meter := engine.NewMeter(ctx, Name, opts.Observer)
 
-	all := bitset.New(d.Size())
-	all.SetAll()
+	all := tidset.Full(d.Size())
 	c0 := ClosureOf(d, all)
-	root := &miner{meter: meter, d: d, opts: opts, res: res}
+	root := &miner{meter: meter, d: d, opts: opts, res: res, sc: newScratch(d)}
 	root.res.Visited++ // the root extend node, processed here on the dispatcher
 	root.emit(c0, all, d.Size())
 
 	// One task per candidate extension item of the root closure; each is
 	// the body of extend's loop for that item and explores its ppc-ext
 	// subtree independently (all and the item TID sets are read-only).
+	// Pools, closer and arenas live per worker, not per task: scratch reuse
+	// changes allocation, never values, so determinism is preserved.
 	perTask := make([]*Result, d.NumItems())
-	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), d.NumItems(), func(_, task int) {
-		sub := &Result{}
-		m := &miner{meter: meter, d: d, opts: opts, res: sub}
-		m.extendFrom(c0, all, task)
-		perTask[task] = sub
-	})
+	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), d.NumItems(),
+		func() *scratch { return newScratch(d) },
+		func(sc *scratch, task int) {
+			sub := &Result{}
+			m := &miner{meter: meter, d: d, opts: opts, res: sub, sc: sc}
+			m.extendFrom(c0, all, task)
+			perTask[task] = sub
+		})
 	for _, sub := range perTask {
 		if sub == nil {
 			stopped = true // abandoned after cancellation
@@ -100,6 +110,21 @@ type miner struct {
 	d     *dataset.Dataset
 	opts  Options
 	res   *Result
+	sc    *scratch
+}
+
+// scratch is the per-worker allocation state: a pool of branch TID-sets, a
+// counting closure computer, and arenas for the itemsets and TID-sets that
+// emitted patterns retain.
+type scratch struct {
+	pool   *tidset.Pool
+	closer *dataset.Closer
+	items  itemset.Arena
+	tids   tidset.Arena
+}
+
+func newScratch(d *dataset.Dataset) *scratch {
+	return &scratch{pool: tidset.NewPool(d.Size()), closer: dataset.NewCloser(d)}
 }
 
 // visit records one search node with the meter and latches cancellation
@@ -114,19 +139,20 @@ func (m *miner) visit(newPatterns int) bool {
 // emit records the closed set c, whose support set tids (with |tids| = sup)
 // the enumeration already holds — D_c equals the branch's tidset because a
 // closure has the identical support set, so no TIDSet recomputation is
-// needed. The branch retains tids read-only for its sub-branches, and
-// sub-branch tidsets are fresh And results, so the pattern can share it.
-func (m *miner) emit(c itemset.Itemset, tids *bitset.Bitset, sup int) {
+// needed. tids is a pooled scratch set the branch will recycle, so the
+// pattern retains an arena-carved compact copy (which also re-picks the
+// representation for the now-known cardinality).
+func (m *miner) emit(c itemset.Itemset, tids *tidset.Set, sup int) {
 	if len(c) == 0 || len(c) < m.opts.MinSize {
 		return
 	}
 	m.meter.Emitted(1)
-	m.res.Patterns = append(m.res.Patterns, dataset.NewPatternCounted(c, tids, sup))
+	m.res.Patterns = append(m.res.Patterns, dataset.NewPatternCounted(c, m.sc.tids.CompactClone(tids), sup))
 }
 
 // extend explores all prefix-preserving closure extensions of the closed
 // set c (with support set tids) using items greater than core.
-func (m *miner) extend(c itemset.Itemset, tids *bitset.Bitset, core int) {
+func (m *miner) extend(c itemset.Itemset, tids *tidset.Set, core int) {
 	if m.visit(0) {
 		return
 	}
@@ -144,21 +170,29 @@ func (m *miner) extend(c itemset.Itemset, tids *bitset.Bitset, core int) {
 // test, the closure is emitted and its subtree explored. It is both the
 // body of extend's loop and the unit of parallel work (the root call
 // decomposes into one extendFrom per item).
-func (m *miner) extendFrom(c itemset.Itemset, tids *bitset.Bitset, i int) {
+func (m *miner) extendFrom(c itemset.Itemset, tids *tidset.Set, i int) {
 	if c.Contains(i) {
 		return
 	}
-	sub := tids.And(m.d.ItemTIDs(i))
+	sub := m.sc.pool.Get()
+	sub.AndOf(tids, m.d.ItemTIDs(i))
 	sup := sub.Count()
 	if sup < m.opts.MinCount {
+		m.sc.pool.Put(sub)
 		return
 	}
-	cc := ClosureOf(m.d, sub)
+	// The closer returns its reusable buffer; the branch needs a stable
+	// copy for the recursion (and the emitted pattern), carved from the
+	// worker's itemset arena.
+	cc := m.sc.closer.Closure(sub)
 	if !prefixPreserved(c, cc, i) {
+		m.sc.pool.Put(sub)
 		return
 	}
+	cc = m.sc.items.Copy(cc)
 	m.emit(cc, sub, sup)
 	m.extend(cc, sub, i)
+	m.sc.pool.Put(sub)
 }
 
 // prefixPreserved reports whether the closure cc introduces no item below i
@@ -177,7 +211,8 @@ func prefixPreserved(c, cc itemset.Itemset, i int) bool {
 
 // ClosureOf computes the intersection of the transactions in tids — the
 // unique closed itemset with that support set. tids must be non-empty.
-func ClosureOf(d *dataset.Dataset, tids *bitset.Bitset) itemset.Itemset {
+// It allocates per transaction; hot paths should use dataset.Closer.
+func ClosureOf(d *dataset.Dataset, tids *tidset.Set) itemset.Itemset {
 	first := tids.NextSet(0)
 	if first < 0 {
 		return nil

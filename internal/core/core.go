@@ -39,8 +39,8 @@
 // A fusion iteration does near-zero redundant work. Support counts are
 // memoized on dataset.Pattern. Ball membership Dist(α,β) ≤ r(τ) is decided
 // by count algebra (see ballThreshold): pairs whose support counts are too
-// far apart are rejected without touching a bitset word, the rest by
-// bitset.AndCountAtLeast with two-sided early exit — derived from the exact
+// far apart are rejected without touching the TID-sets at all, the rest by
+// tidset.AndCountAtLeast with two-sided early exit — derived from the exact
 // float64 predicate, so results never differ from the naive Distance scan.
 // Each worker owns a fuseScratch (reused ball, shuffle order, working TID
 // set, double-buffered itemset union, counting-based dataset.Closer), and
@@ -57,11 +57,11 @@ import (
 	"sort"
 
 	"repro/internal/apriori"
-	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/itemset"
 	"repro/internal/rng"
+	"repro/internal/tidset"
 )
 
 // Name is this algorithm's engine registry name.
@@ -399,16 +399,11 @@ func fusionStep(ctx context.Context, d *dataset.Dataset, pool []*dataset.Pattern
 		perSeed[slot] = fuse(d, seed, ball, cfg, minCount, r, sc)
 	}
 
-	// Per-worker scratch buffers, allocated lazily: a worker that never
-	// claims a slot never pays for a scratch.
-	workers := min(cfg.workers(), len(seedIdx))
-	scratches := make([]*fuseScratch, workers)
-	if engine.Tasks(ctx, workers, len(seedIdx), func(worker, slot int) {
-		if scratches[worker] == nil {
-			scratches[worker] = newFuseScratch(d)
-		}
-		fuseSlot(slot, scratches[worker])
-	}) {
+	// Per-worker scratch buffers, allocated lazily by the scheduler: a
+	// worker that never claims a slot never pays for a scratch.
+	if engine.TasksWithScratch(ctx, cfg.workers(), len(seedIdx),
+		func() *fuseScratch { return newFuseScratch(d) },
+		func(sc *fuseScratch, slot int) { fuseSlot(slot, sc) }) {
 		return nil, true
 	}
 
@@ -473,7 +468,7 @@ type fuseScratch struct {
 	ball   []*dataset.Pattern
 	sample []*dataset.Pattern
 	order  []int
-	tids   *bitset.Bitset
+	tids   *tidset.Set
 	itemsA itemset.Itemset
 	itemsB itemset.Itemset
 	closer *dataset.Closer
@@ -487,7 +482,7 @@ type super struct {
 
 func newFuseScratch(d *dataset.Dataset) *fuseScratch {
 	return &fuseScratch{
-		tids:   bitset.New(d.Size()),
+		tids:   tidset.New(d.Size()),
 		closer: dataset.NewCloser(d),
 		supers: make(map[itemset.Fingerprint]super),
 	}
@@ -539,12 +534,12 @@ func fuse(d *dataset.Dataset, seed *dataset.Pattern, ball []*dataset.Pattern, cf
 	// fingerprint and a map probe, no allocation. Replaying a draw with a
 	// larger fused count keeps the existing pattern — identical itemsets
 	// have identical support sets (Lemma 1), so only the weight changes.
-	emit := func(items itemset.Itemset, tids *bitset.Bitset, sup, fused int) {
+	emit := func(items itemset.Itemset, tids *tidset.Set, sup, fused int) {
 		fp := items.Fingerprint()
 		prev, ok := supers[fp]
 		switch {
 		case !ok:
-			supers[fp] = super{p: dataset.NewPatternCounted(items.Clone(), tids.Clone(), sup), fused: fused}
+			supers[fp] = super{p: dataset.NewPatternCounted(items.Clone(), tids.CompactClone(), sup), fused: fused}
 		case fused > prev.fused:
 			prev.fused = fused
 			supers[fp] = prev
@@ -764,4 +759,4 @@ func ComplementarySets(d *dataset.Dataset, alpha itemset.Itemset, tau float64) i
 
 // Distance is the pattern distance of Definition 6 computed directly from
 // two support sets.
-func Distance(a, b *bitset.Bitset) float64 { return a.Distance(b) }
+func Distance(a, b *tidset.Set) float64 { return a.Distance(b) }

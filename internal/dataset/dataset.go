@@ -5,11 +5,13 @@
 // vertical miners and Pattern-Fusion operate on.
 //
 // The central derived object is the Pattern: an itemset α together with its
-// support set Dα (the set of transactions containing α) kept as a bitset, so
-// that s(α), Dist(α,β) (Definition 6) and support-set intersections during
-// fusion are all cheap. Patterns built through the constructors memoize
-// |Dα|, so the sort comparators and frequency checks sprinkled over every
-// miner read a cached integer instead of re-popcounting the bitset.
+// support set Dα (the set of transactions containing α) kept as a hybrid
+// compressed TID-set (internal/tidset: dense words for high-frequency
+// columns, sorted arrays for sparse ones, chosen per column at build time),
+// so that s(α), Dist(α,β) (Definition 6) and support-set intersections
+// during fusion are all cheap. Patterns built through the constructors
+// memoize |Dα|, so the sort comparators and frequency checks sprinkled over
+// every miner read a cached integer instead of recounting the TID-set.
 //
 // The package also provides Closer, a reusable-buffer closure computer that
 // tallies item occurrences over the transactions of a support set — the
@@ -19,17 +21,18 @@ package dataset
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
-	"repro/internal/bitset"
 	"repro/internal/itemset"
+	"repro/internal/tidset"
 )
 
 // Dataset is an immutable transaction database. Build one with New or Load;
 // do not mutate the returned structures.
 type Dataset struct {
 	transactions []itemset.Itemset // horizontal form, canonical itemsets
-	tidsets      []*bitset.Bitset  // vertical form: tidsets[item] = D_{item}
+	tidsets      []*tidset.Set     // vertical form: tidsets[item] = D_{item}
 	numItems     int               // item universe size (max item ID + 1)
 }
 
@@ -72,21 +75,28 @@ func MustNew(transactions [][]int) *Dataset {
 // canonical (strictly increasing), every tidsets[j] has capacity
 // len(transactions), and tidsets[j].Test(i) holds iff transactions[i]
 // contains j. The item universe is len(tidsets).
-func FromParts(transactions []itemset.Itemset, tidsets []*bitset.Bitset) *Dataset {
+func FromParts(transactions []itemset.Itemset, tidsets []*tidset.Set) *Dataset {
 	return &Dataset{transactions: transactions, tidsets: tidsets, numItems: len(tidsets)}
 }
 
 func (d *Dataset) buildVertical() {
 	n := len(d.transactions)
-	d.tidsets = make([]*bitset.Bitset, d.numItems)
-	for item := range d.tidsets {
-		d.tidsets[item] = bitset.New(n)
-	}
-	for tid, t := range d.transactions {
+	// Two passes over the horizontal form: frequencies first, so every
+	// column's representation (dense words vs sorted array) is chosen and
+	// exact-sized before a single TID is stored.
+	freq := make([]int, d.numItems)
+	for _, t := range d.transactions {
 		for _, item := range t {
-			d.tidsets[item].Set(tid)
+			freq[item]++
 		}
 	}
+	b := tidset.NewBuilder(n, freq)
+	for tid, t := range d.transactions {
+		for _, item := range t {
+			b.Add(item, tid)
+		}
+	}
+	d.tidsets = b.Sets()
 }
 
 // Size returns the number of transactions |D|.
@@ -103,7 +113,7 @@ func (d *Dataset) Transactions() []itemset.Itemset { return d.transactions }
 
 // ItemTIDs returns the tidset of a single item (do not modify). Items that
 // never occur have an empty tidset; out-of-universe items return nil.
-func (d *Dataset) ItemTIDs(item int) *bitset.Bitset {
+func (d *Dataset) ItemTIDs(item int) *tidset.Set {
 	if item < 0 || item >= d.numItems {
 		return nil
 	}
@@ -113,21 +123,18 @@ func (d *Dataset) ItemTIDs(item int) *bitset.Bitset {
 // TIDSet computes D_α: the set of transactions containing every item of α,
 // by intersecting the per-item tidsets (Lemma 1: D_α = ∩_{o∈α} D_o).
 // The empty itemset is contained in every transaction.
-func (d *Dataset) TIDSet(alpha itemset.Itemset) *bitset.Bitset {
-	out := bitset.New(len(d.transactions))
+func (d *Dataset) TIDSet(alpha itemset.Itemset) *tidset.Set {
 	if len(alpha) == 0 {
-		out.SetAll()
-		return out
+		return tidset.Full(len(d.transactions))
 	}
 	first := alpha[0]
 	if first >= d.numItems {
-		return out // item never occurs: empty support
+		return tidset.New(len(d.transactions)) // item never occurs: empty support
 	}
-	out.CopyFrom(d.tidsets[first])
+	out := d.tidsets[first].Clone()
 	for _, item := range alpha[1:] {
 		if item >= d.numItems {
-			out.Reset()
-			return out
+			return tidset.New(len(d.transactions))
 		}
 		out.InPlaceAnd(d.tidsets[item])
 		if out.Empty() {
@@ -213,7 +220,12 @@ func NewCloser(d *Dataset) *Closer {
 // its transactions, identical to Dataset.Closure on a non-empty tids. The
 // returned itemset is a reusable internal buffer — callers must clone it
 // before retaining it or calling Closure again. An empty tids yields nil.
-func (c *Closer) Closure(tids *bitset.Bitset) itemset.Itemset {
+//
+// The transaction walk reads the TID-set's representation directly —
+// sorted-array elements for sparse sets, a trailing-zeros word scan for
+// dense ones — instead of a NextSet loop, because this probe is the single
+// hottest loop in the closed miners.
+func (c *Closer) Closure(tids *tidset.Set) itemset.Itemset {
 	first := tids.NextSet(0)
 	if first < 0 {
 		return nil
@@ -231,11 +243,31 @@ func (c *Closer) Closure(tids *bitset.Bitset) itemset.Itemset {
 		c.count[it] = 0
 	}
 	var rest int32
-	for tid := tids.NextSet(first + 1); tid >= 0; tid = tids.NextSet(tid + 1) {
-		rest++
-		for _, it := range c.d.transactions[tid] {
-			if c.stamp[it] == c.gen {
-				c.count[it]++
+	if elems, ok := tids.Elems(); ok {
+		for _, e := range elems[1:] { // elems[0] == first
+			rest++
+			for _, it := range c.d.transactions[e] {
+				if c.stamp[it] == c.gen {
+					c.count[it]++
+				}
+			}
+		}
+	} else {
+		words, _ := tids.Words()
+		for wi, w := range words {
+			base := wi * 64
+			for w != 0 {
+				tid := base + bits.TrailingZeros64(w)
+				w &= w - 1
+				if tid == first {
+					continue
+				}
+				rest++
+				for _, it := range c.d.transactions[tid] {
+					if c.stamp[it] == c.gen {
+						c.count[it]++
+					}
+				}
 			}
 		}
 	}
@@ -317,16 +349,16 @@ func (s Stats) String() string {
 // work for Pattern-Fusion and the closed/maximal miners.
 //
 // The support count |D_α| is memoized: constructors compute it once, and
-// Support serves it without re-popcounting the TID bitset — sort
-// comparators, the fusion core-ratio checks and the ball search all read
-// supports, so recounting dominated the hot path before the cache. Code
-// that builds a Pattern by struct literal still works (Support falls back
-// to counting, without caching, so shared patterns stay race-free), but the
-// mining paths should use NewPattern / NewPatternCounted / NewPatternTIDs.
+// Support serves it without recounting the TID-set — sort comparators, the
+// fusion core-ratio checks and the ball search all read supports, so
+// recounting dominated the hot path before the cache. Code that builds a
+// Pattern by struct literal still works (Support falls back to counting,
+// without caching, so shared patterns stay race-free), but the mining paths
+// should use NewPattern / NewPatternCounted / NewPatternTIDs.
 type Pattern struct {
 	Items itemset.Itemset
-	TIDs  *bitset.Bitset // D_α; never nil for patterns built via NewPattern
-	sup   int            // cached |D_α|+1; 0 means not computed
+	TIDs  *tidset.Set // D_α; never nil for patterns built via NewPattern
+	sup   int         // cached |D_α|+1; 0 means not computed
 }
 
 // NewPattern builds a Pattern for α against d, computing its support set.
@@ -337,14 +369,14 @@ func NewPattern(d *Dataset, alpha itemset.Itemset) *Pattern {
 
 // NewPatternTIDs builds a Pattern from an already-computed support set,
 // counting it once.
-func NewPatternTIDs(alpha itemset.Itemset, tids *bitset.Bitset) *Pattern {
+func NewPatternTIDs(alpha itemset.Itemset, tids *tidset.Set) *Pattern {
 	return &Pattern{Items: alpha, TIDs: tids, sup: tids.Count() + 1}
 }
 
 // NewPatternCounted builds a Pattern from an already-computed support set
 // whose cardinality the caller already knows (count must equal
 // tids.Count(); the miners always have it in hand from a frequency test).
-func NewPatternCounted(alpha itemset.Itemset, tids *bitset.Bitset, count int) *Pattern {
+func NewPatternCounted(alpha itemset.Itemset, tids *tidset.Set, count int) *Pattern {
 	return &Pattern{Items: alpha, TIDs: tids, sup: count + 1}
 }
 

@@ -296,12 +296,12 @@ func TestPatternSupportMemo(t *testing.T) {
 		t.Fatalf("literal Support = %d, want 200", lit.Support())
 	}
 	// A literal pattern must not cache: mutating TIDs in place is visible.
-	lit.TIDs.Clear(lit.TIDs.NextSet(0))
+	lit.TIDs.Remove(lit.TIDs.NextSet(0))
 	if lit.Support() != 199 {
 		t.Fatalf("literal Support after Clear = %d, want 199", lit.Support())
 	}
 	// A constructor-built pattern caches; invalidation re-counts.
-	p.TIDs.Clear(p.TIDs.NextSet(0))
+	p.TIDs.Remove(p.TIDs.NextSet(0))
 	if p.Support() != 200 {
 		t.Fatalf("cached Support changed without invalidation: %d", p.Support())
 	}

@@ -17,10 +17,10 @@ package eclat
 import (
 	"context"
 
-	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/itemset"
+	"repro/internal/tidset"
 )
 
 // Options configures a mining run.
@@ -55,19 +55,23 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 
 	var class []extension
 	for _, item := range d.FrequentItems(opts.MinCount) {
-		class = append(class, extension{item: item, tids: d.ItemTIDs(item)})
+		tids := d.ItemTIDs(item)
+		class = append(class, extension{item: item, sup: tids.Count(), tids: tids})
 	}
 
 	// One task per first-level class member; the shared class slice is
-	// read-only across workers. Merging the per-task results in task order
-	// reproduces the sequential depth-first emission order exactly.
+	// read-only across workers (its tidsets are dataset-owned and never
+	// pooled). Merging the per-task results in task order reproduces the
+	// sequential depth-first emission order exactly.
 	perTask := make([]*Result, len(class))
-	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), len(class), func(_, task int) {
-		sub := &Result{}
-		m := &miner{meter: meter, opts: opts, res: sub}
-		m.searchFrom(nil, class, task)
-		perTask[task] = sub
-	})
+	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), len(class),
+		func() *scratch { return &scratch{pool: tidset.NewPool(d.Size())} },
+		func(sc *scratch, task int) {
+			sub := &Result{}
+			m := &miner{meter: meter, opts: opts, res: sub, sc: sc}
+			m.searchFrom(nil, class, task)
+			perTask[task] = sub
+		})
 	for _, sub := range perTask {
 		if sub == nil {
 			stopped = true // abandoned after cancellation
@@ -82,13 +86,24 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 
 type extension struct {
 	item int
-	tids *bitset.Bitset
+	sup  int // |tids|, carried so class members never recount
+	tids *tidset.Set
 }
 
 type miner struct {
 	meter *engine.Meter
 	opts  Options
 	res   *Result
+	sc    *scratch
+}
+
+// scratch is the per-worker allocation state: a pool recycling the
+// sub-class TID-sets of closed branches, and arenas for the itemset and
+// compact TID-set each emitted pattern retains.
+type scratch struct {
+	pool  *tidset.Pool
+	items itemset.Arena
+	tids  tidset.Arena
 }
 
 // visit records one search node with the meter and latches cancellation
@@ -122,19 +137,28 @@ func (m *miner) searchFrom(prefix itemset.Itemset, class []extension, i int) {
 		return
 	}
 	ext := class[i]
-	items := prefix.Add(ext.item)
-	m.res.Patterns = append(m.res.Patterns, dataset.NewPatternTIDs(items, ext.tids.Clone()))
+	items := m.sc.items.Add(prefix, ext.item)
+	m.res.Patterns = append(m.res.Patterns,
+		dataset.NewPatternCounted(items, m.sc.tids.CompactClone(ext.tids), ext.sup))
 	if m.opts.MaxSize > 0 && len(items) >= m.opts.MaxSize {
 		return
 	}
+	// Sub-class TID-sets are pooled scratch: intersected in place, handed
+	// to the recursion, and recycled when the subtree closes.
 	var sub []extension
 	for _, other := range class[i+1:] {
-		tids := ext.tids.And(other.tids)
-		if tids.Count() >= m.opts.MinCount {
-			sub = append(sub, extension{item: other.item, tids: tids})
+		tids := m.sc.pool.Get()
+		tids.AndOf(ext.tids, other.tids)
+		if c := tids.Count(); c >= m.opts.MinCount {
+			sub = append(sub, extension{item: other.item, sup: c, tids: tids})
+		} else {
+			m.sc.pool.Put(tids)
 		}
 	}
 	if len(sub) > 0 {
 		m.search(items, sub)
+	}
+	for _, s := range sub {
+		m.sc.pool.Put(s.tids)
 	}
 }

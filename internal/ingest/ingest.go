@@ -12,10 +12,10 @@ import (
 	"os"
 	"sort"
 
-	"repro/internal/bitset"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/itemset"
+	"repro/internal/tidset"
 )
 
 // DefaultMaxItem caps source item IDs (16M): the vertical representation
@@ -184,12 +184,17 @@ func Ingest(src Source, opts Options) (*Result, error) {
 	plan := planItems(freq, opts.Transforms, opts.Remap)
 	res.Mapping = plan.mapping
 
-	// Pass 2: emit canonical transactions and column bitsets.
+	// Pass 2: emit canonical transactions and compressed TID columns. The
+	// pass-1 frequencies size every column exactly and pick its
+	// representation (dense words vs sorted array) before any TID lands.
 	txns := make([]itemset.Itemset, 0, res.RowsKept)
-	tidsets := make([]*bitset.Bitset, plan.universe)
-	for i := range tidsets {
-		tidsets[i] = bitset.New(res.RowsKept)
+	counts := make([]int, plan.universe)
+	for src, nt := range plan.translate {
+		if nt >= 0 {
+			counts[nt] = freq[src]
+		}
 	}
+	builder := tidset.NewBuilder(res.RowsKept, counts)
 	row := 0
 	err = pass(src, nil, func(rdr *bufio.Reader, _ bool) error {
 		dec := format.NewDecoder(rdr)
@@ -222,7 +227,7 @@ func Ingest(src Source, opts Options) (*Result, error) {
 			}
 			txns = append(txns, txn)
 			for _, item := range txn {
-				tidsets[item].Set(tid)
+				builder.Add(item, tid)
 			}
 		}
 		return nil
@@ -233,7 +238,7 @@ func Ingest(src Source, opts Options) (*Result, error) {
 	if len(txns) != res.RowsKept {
 		return nil, fmt.Errorf("ingest: %s: source changed between passes (%d rows, then %d)", src.Name(), res.RowsKept, len(txns))
 	}
-	res.Dataset = dataset.FromParts(txns, tidsets)
+	res.Dataset = dataset.FromParts(txns, builder.Sets())
 	return res, nil
 }
 

@@ -1,0 +1,75 @@
+package itemset
+
+import "sort"
+
+// arenaBlock is the Arena block size in ints; oversized itemsets get
+// dedicated allocations.
+const arenaBlock = 1 << 13
+
+// Arena carves long-lived itemset copies out of shared blocks. The DFS
+// miners retain one canonical itemset per emitted pattern (a closure, a
+// prefix extension, a suffix union); carving them from per-worker blocks
+// turns those per-pattern allocations into amortized block allocations.
+// An Arena only grows — it is dropped wholesale with the worker scratch —
+// and is not safe for concurrent use.
+type Arena struct {
+	buf []int
+}
+
+// grab carves a k-int slice (length 0, capacity k) from the current
+// block, starting a new block when k does not fit and falling back to a
+// dedicated allocation for oversized requests.
+func (a *Arena) grab(k int) Itemset {
+	if k > arenaBlock/2 {
+		return make(Itemset, 0, k)
+	}
+	if cap(a.buf)-len(a.buf) < k {
+		a.buf = make([]int, 0, arenaBlock)
+	}
+	out := a.buf[len(a.buf) : len(a.buf) : len(a.buf)+k]
+	a.buf = a.buf[:len(a.buf)+k]
+	return out
+}
+
+// Copy returns an arena-backed copy of the canonical itemset s. A nil s
+// copies to nil, matching Clone.
+func (a *Arena) Copy(s Itemset) Itemset {
+	if s == nil {
+		return nil
+	}
+	return append(a.grab(len(s)), s...)
+}
+
+// Add returns an arena-backed copy of s ∪ {item}, like Itemset.Add.
+func (a *Arena) Add(s Itemset, item int) Itemset {
+	i := sort.SearchInts(s, item)
+	if i < len(s) && s[i] == item {
+		return a.Copy(s)
+	}
+	out := a.grab(len(s) + 1)
+	out = append(out, s[:i]...)
+	out = append(out, item)
+	return append(out, s[i:]...)
+}
+
+// Union returns an arena-backed copy of s ∪ t, like Itemset.Union.
+func (a *Arena) Union(s, t Itemset) Itemset {
+	out := a.grab(s.UnionLen(t))
+	i, j := 0, 0
+	for i < len(s) && j < len(t) {
+		switch {
+		case s[i] < t[j]:
+			out = append(out, s[i])
+			i++
+		case s[i] > t[j]:
+			out = append(out, t[j])
+			j++
+		default:
+			out = append(out, s[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, s[i:]...)
+	return append(out, t[j:]...)
+}

@@ -42,6 +42,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/itemset"
+	"repro/internal/tidset"
 )
 
 // Options configures a mining run.
@@ -72,22 +73,23 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 		opts.MinCount = 1
 	}
 	meter := engine.NewMeter(ctx, Name, opts.Observer)
-	root := &miner{meter: meter, d: d, opts: opts, res: &Result{}}
+	root := &miner{meter: meter, d: d, opts: opts, res: &Result{}, sc: newScratch(d)}
 
 	var tail []extension
 	for _, item := range d.FrequentItems(opts.MinCount) {
-		tids := d.ItemTIDs(item).Clone()
+		tids := d.ItemTIDs(item)
 		tail = append(tail, extension{item: item, tids: tids, sup: tids.Count()})
 	}
 	if len(tail) == 0 {
 		return root.res
 	}
-	all := bitset.New(d.Size())
-	all.SetAll()
+	all := tidset.Full(d.Size())
 
 	// The root node runs on the dispatcher; its surviving extensions are
 	// the parallel task units (head, extension tidsets and the shared tail
-	// slices are read-only across workers).
+	// slices are read-only across workers). The root's extension tidsets
+	// come from the root scratch pool and are deliberately never recycled —
+	// the tasks keep reading them for the whole run.
 	root.res.Visited++
 	head, exts, handled := root.node(nil, all, tail)
 	res := root.res
@@ -95,11 +97,13 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 		return res
 	}
 	perTask := make([]*Result, len(exts))
-	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), len(exts), func(_, task int) {
-		sub := &miner{meter: meter, d: d, opts: opts, res: &Result{}}
-		sub.search(head.Add(exts[task].item), exts[task].tids, exts[task+1:])
-		perTask[task] = sub.res
-	})
+	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), len(exts),
+		func() *scratch { return newScratch(d) },
+		func(sc *scratch, task int) {
+			sub := &miner{meter: meter, d: d, opts: opts, res: &Result{}, sc: sc}
+			sub.search(head.Add(exts[task].item), exts[task].tids, exts[task+1:])
+			perTask[task] = sub.res
+		})
 	var candidates []*dataset.Pattern
 	for _, sub := range perTask {
 		if sub == nil {
@@ -147,7 +151,7 @@ func filterSubsumed(d *dataset.Dataset, candidates []*dataset.Pattern) []*datase
 
 type extension struct {
 	item int
-	tids *bitset.Bitset
+	tids *tidset.Set
 	sup  int // cached |tids|: read by the reordering comparator
 }
 
@@ -156,10 +160,26 @@ type miner struct {
 	d     *dataset.Dataset
 	opts  Options
 	res   *Result
+	sc    *scratch
 	// mfi is the list of maximal sets this miner has found so far, each
 	// with an item bitset for fast subset tests. In a parallel run every
 	// task owns its own miner, so the table is task-local by construction.
 	mfi []itemBits
+}
+
+// scratch is the per-worker allocation state: a pool recycling extension
+// TID-sets of closed branches, an arena for the compact TID-sets recorded
+// patterns retain, and reusable buffers for the HUT probe (itemset and
+// item bitset), which previously allocated per node.
+type scratch struct {
+	pool     *tidset.Pool
+	tids     tidset.Arena
+	itemBits *bitset.Bitset // over item IDs; reused by the HUTMFI probe
+	hutBuf   itemset.Itemset
+}
+
+func newScratch(d *dataset.Dataset) *scratch {
+	return &scratch{pool: tidset.NewPool(d.Size()), itemBits: bitset.New(d.NumItems())}
 }
 
 type itemBits struct {
@@ -194,14 +214,26 @@ func (m *miner) subsumed(bits *bitset.Bitset) bool {
 	return false
 }
 
+// probeSubsumed is subsumed over the reusable scratch item bitset — for
+// probes whose bitset is not retained (the HUTMFI test).
+func (m *miner) probeSubsumed(items itemset.Itemset) bool {
+	b := m.sc.itemBits
+	b.Reset()
+	for _, it := range items {
+		b.Set(it)
+	}
+	return m.subsumed(b)
+}
+
 // record adds items to the MFI if it is not subsumed. sup is |tids|, which
-// every call site already has in hand.
-func (m *miner) record(items itemset.Itemset, tids *bitset.Bitset, sup int) {
+// every call site already has in hand. tids may be a pooled scratch set;
+// the pattern retains an arena-carved compact copy.
+func (m *miner) record(items itemset.Itemset, tids *tidset.Set, sup int) {
 	bits := m.itemBitsOf(items)
 	if m.subsumed(bits) {
 		return
 	}
-	p := dataset.NewPatternCounted(items, tids.Clone(), sup)
+	p := dataset.NewPatternCounted(items, m.sc.tids.CompactClone(tids), sup)
 	m.mfi = append(m.mfi, itemBits{pattern: p, bits: bits})
 	m.meter.Emitted(1)
 	m.res.Patterns = append(m.res.Patterns, p)
@@ -210,7 +242,7 @@ func (m *miner) record(items itemset.Itemset, tids *bitset.Bitset, sup int) {
 // search explores the subtree of head (with support set tids) using the
 // candidate extensions in tail. Tail tidsets may be relative to any
 // ancestor; they are re-intersected with tids on entry.
-func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extension) {
+func (m *miner) search(head itemset.Itemset, tids *tidset.Set, tail []extension) {
 	if m.visit() {
 		return
 	}
@@ -222,8 +254,11 @@ func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extensi
 	for i, e := range exts {
 		m.search(head.Add(e.item), e.tids, exts[i+1:])
 		if m.res.Stopped {
-			return
+			break
 		}
+	}
+	for _, e := range exts {
+		m.sc.pool.Put(e.tids)
 	}
 }
 
@@ -233,21 +268,25 @@ func (m *miner) search(head itemset.Itemset, tids *bitset.Bitset, tail []extensi
 // (possibly PEP-grown) head with its reordered extensions. handled=true
 // means the node completed without needing to recurse; MineOpts uses the
 // root node's extensions as the parallel task units.
-func (m *miner) node(head itemset.Itemset, tids *bitset.Bitset, tail []extension) (itemset.Itemset, []extension, bool) {
+func (m *miner) node(head itemset.Itemset, tids *tidset.Set, tail []extension) (itemset.Itemset, []extension, bool) {
 	// Compute frequent extensions relative to head; PEP-absorb equal-support
-	// ones directly into the head.
+	// ones directly into the head. Extension tidsets are pooled scratch
+	// sets, recycled by whichever path discards them.
 	headSup := tids.Count()
 	var exts []extension
 	for _, e := range tail {
-		sub := tids.And(e.tids)
+		sub := m.sc.pool.Get()
+		sub.AndOf(tids, e.tids)
 		c := sub.Count()
 		if c < m.opts.MinCount {
+			m.sc.pool.Put(sub)
 			continue
 		}
 		if c == headSup {
 			// PEP: D_head ⊆ D_item, so every maximal superset of head
 			// includes this item.
 			head = head.Add(e.item)
+			m.sc.pool.Put(sub)
 			continue
 		}
 		exts = append(exts, extension{item: e.item, tids: sub, sup: c})
@@ -259,28 +298,37 @@ func (m *miner) node(head itemset.Itemset, tids *bitset.Bitset, tail []extension
 	}
 
 	// HUT = head ∪ tail: used by both the HUTMFI subsumption prune and the
-	// FHUT frequency lookahead.
-	hut := head
+	// FHUT frequency lookahead. Built in a reusable buffer — extension
+	// items are disjoint from head, so append-then-sort is canonical.
+	hut := append(m.sc.hutBuf[:0], head...)
 	for _, e := range exts {
-		hut = hut.Add(e.item)
+		hut = append(hut, e.item)
 	}
-	if m.subsumed(m.itemBitsOf(hut)) {
+	m.sc.hutBuf = hut
+	sort.Ints(hut)
+	if m.probeSubsumed(hut) {
+		m.putExts(exts)
 		return head, nil, true
 	}
-	hutTids := tids.Clone()
+	hutTids := m.sc.pool.Get()
+	hutTids.CopyFrom(tids)
 	hutSup := 0
+	frequent := true
 	for _, e := range exts {
 		hutTids.InPlaceAnd(e.tids)
 		if hutSup = hutTids.Count(); hutSup < m.opts.MinCount {
-			hutTids = nil
+			frequent = false
 			break
 		}
 	}
-	if hutTids != nil {
+	if frequent {
 		// FHUT: head ∪ tail is frequent — the unique maximal candidate here.
-		m.record(hut, hutTids, hutSup)
+		m.record(hut.Clone(), hutTids, hutSup)
+		m.sc.pool.Put(hutTids)
+		m.putExts(exts)
 		return head, nil, true
 	}
+	m.sc.pool.Put(hutTids)
 
 	// Dynamic reordering: most constrained (lowest support) first, using the
 	// supports cached when the extensions were gathered (the comparator used
@@ -292,6 +340,13 @@ func (m *miner) node(head itemset.Itemset, tids *bitset.Bitset, tail []extension
 		return exts[i].item < exts[j].item
 	})
 	return head, exts, false
+}
+
+// putExts recycles the TID-sets of a discarded extension list.
+func (m *miner) putExts(exts []extension) {
+	for _, e := range exts {
+		m.sc.pool.Put(e.tids)
+	}
 }
 
 // IsMaximal reports whether alpha is maximal in d at minCount: alpha is

@@ -1,0 +1,48 @@
+package metrics
+
+import "runtime"
+
+// InstrumentGoRuntime registers the pfserve_go_* gauge set: a snapshot
+// of the Go runtime's memory and scheduler state, refreshed by a scrape
+// hook each time the registry is rendered. Exposing memstats is what
+// makes the TID-set/arena allocation work observable in production: a
+// deploy that regresses allocation shows up as rising
+// pfserve_go_total_alloc_bytes and gc_cycles rates without any
+// profiler attached.
+//
+// runtime.ReadMemStats stops the world briefly; sampling only on scrape
+// (typically every 15–60 s) keeps that cost negligible. Every gauge is
+// documented in docs/operations.md; keep the two in sync.
+func InstrumentGoRuntime(r *Registry) {
+	goroutines := r.NewGauge("pfserve_go_goroutines",
+		"Goroutines currently alive.")
+	heapAlloc := r.NewGauge("pfserve_go_heap_alloc_bytes",
+		"Bytes of allocated heap objects (runtime.MemStats.HeapAlloc).")
+	heapInuse := r.NewGauge("pfserve_go_heap_inuse_bytes",
+		"Bytes in in-use heap spans (runtime.MemStats.HeapInuse).")
+	heapObjects := r.NewGauge("pfserve_go_heap_objects",
+		"Number of live heap objects.")
+	sys := r.NewGauge("pfserve_go_sys_bytes",
+		"Total bytes obtained from the OS (runtime.MemStats.Sys).")
+	totalAlloc := r.NewGauge("pfserve_go_total_alloc_bytes",
+		"Cumulative bytes allocated for heap objects; monotone, rate() it.")
+	gcCycles := r.NewGauge("pfserve_go_gc_cycles",
+		"Completed GC cycles; monotone, rate() it.")
+	gcPause := r.NewGauge("pfserve_go_gc_pause_seconds_total",
+		"Cumulative GC stop-the-world pause time; monotone, rate() it.")
+	nextGC := r.NewGauge("pfserve_go_next_gc_bytes",
+		"Heap size at which the next GC cycle triggers.")
+	r.OnScrape(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heapAlloc.Set(float64(ms.HeapAlloc))
+		heapInuse.Set(float64(ms.HeapInuse))
+		heapObjects.Set(float64(ms.HeapObjects))
+		sys.Set(float64(ms.Sys))
+		totalAlloc.Set(float64(ms.TotalAlloc))
+		gcCycles.Set(float64(ms.NumGC))
+		gcPause.Set(float64(ms.PauseTotalNs) / 1e9)
+		nextGC.Set(float64(ms.NextGC))
+	})
+}

@@ -47,6 +47,7 @@ type Registry struct {
 	mu       sync.Mutex
 	families []*family
 	byName   map[string]*family
+	hooks    []func()
 }
 
 // family is one named metric family: its metadata plus one series per
@@ -236,10 +237,27 @@ func (h *Histogram) Count(labelVals ...string) uint64 {
 	return h.f.get(labelVals).count
 }
 
+// OnScrape registers fn to run at the start of every WriteTo, before
+// the registry lock is taken — so fn may freely update instruments.
+// Scrape hooks let sampled gauges (e.g. the Go runtime memstats of
+// InstrumentGoRuntime) refresh only when someone is actually looking.
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.hooks = append(r.hooks, fn)
+	r.mu.Unlock()
+}
+
 // WriteTo renders every family in the Prometheus text exposition format.
 // The output is deterministic for a given registry state: families in
-// registration order, series sorted by label values.
+// registration order, series sorted by label values. Scrape hooks run
+// first, outside the lock.
 func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	hooks := r.hooks
+	r.mu.Unlock()
+	for _, fn := range hooks {
+		fn()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	var b strings.Builder

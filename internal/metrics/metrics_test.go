@@ -177,3 +177,43 @@ func TestHandlerContentType(t *testing.T) {
 		t.Fatalf("body: %s", rec.Body.String())
 	}
 }
+
+func TestOnScrapeHookRefreshesGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.NewGauge("sampled", "Refreshed per scrape.")
+	n := 0
+	r.OnScrape(func() { n++; g.Set(float64(n)) })
+	if out := render(t, r); !strings.Contains(out, "sampled 1\n") {
+		t.Fatalf("first scrape:\n%s", out)
+	}
+	if out := render(t, r); !strings.Contains(out, "sampled 2\n") {
+		t.Fatalf("second scrape:\n%s", out)
+	}
+}
+
+func TestInstrumentGoRuntime(t *testing.T) {
+	r := NewRegistry()
+	InstrumentGoRuntime(r)
+	out := render(t, r)
+	for _, name := range []string{
+		"pfserve_go_goroutines",
+		"pfserve_go_heap_alloc_bytes",
+		"pfserve_go_heap_inuse_bytes",
+		"pfserve_go_heap_objects",
+		"pfserve_go_sys_bytes",
+		"pfserve_go_total_alloc_bytes",
+		"pfserve_go_gc_cycles",
+		"pfserve_go_gc_pause_seconds_total",
+		"pfserve_go_next_gc_bytes",
+	} {
+		if !strings.Contains(out, "# TYPE "+name+" gauge") {
+			t.Errorf("missing gauge %s", name)
+		}
+	}
+	// A live process always has goroutines and a non-empty heap.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "pfserve_go_goroutines ") && strings.HasSuffix(line, " 0") {
+			t.Errorf("goroutine gauge not sampled: %q", line)
+		}
+	}
+}

@@ -55,6 +55,8 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 	if reg == nil {
 		reg = metrics.NewRegistry()
 	}
+	// Go runtime memstats as pfserve_go_* gauges, sampled on scrape.
+	metrics.InstrumentGoRuntime(reg)
 	return &Metrics{
 		reg: reg,
 		JobsTotal: reg.NewCounter("pfserve_jobs_total",

@@ -1,0 +1,82 @@
+package tidset
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// FuzzTIDSet is the differential fuzz test of the compressed kernels
+// against the dense internal/bitset reference: on arbitrary column
+// profiles (universe size, two member bitmaps, a threshold, a forced
+// representation pairing) the hybrid Set must agree with the Bitset on
+// And membership, counts, AndCountAtLeast, Jaccard/Distance, iteration
+// and NextSet — the contract that keeps the miners' golden outputs
+// representation-independent.
+func FuzzTIDSet(f *testing.F) {
+	f.Add(uint16(70), []byte{0xff, 0x0f, 0x00, 0x01}, []byte{0x01, 0x02, 0x03, 0x04}, 3, byte(0))
+	f.Add(uint16(64), []byte{0x00}, []byte{0xff}, 0, byte(1))
+	f.Add(uint16(300), []byte{0xaa, 0xaa, 0xaa}, []byte{0x55}, 17, byte(2))
+	f.Add(uint16(1), []byte{}, []byte{0x01}, 1, byte(3))
+	f.Fuzz(func(t *testing.T, un uint16, abits, bbits []byte, threshold int, repr byte) {
+		n := int(un)%1024 + 1
+		idx := func(raw []byte) []int {
+			var out []int
+			for i := 0; i < n && i/8 < len(raw); i++ {
+				if raw[i/8]&(1<<(uint(i)%8)) != 0 {
+					out = append(out, i)
+				}
+			}
+			return out
+		}
+		ia, ib := idx(abits), idx(bbits)
+		ba, bb := bitset.FromIndices(n, ia), bitset.FromIndices(n, ib)
+		// repr forces one of the four representation pairings so the fuzzer
+		// exercises every kernel path regardless of the natural choice.
+		sa := force(FromIndices(n, ia), repr&1 != 0)
+		sb := force(FromIndices(n, ib), repr&2 != 0)
+
+		if got, want := sa.Count(), ba.Count(); got != want {
+			t.Fatalf("Count: %d vs %d", got, want)
+		}
+		if got, want := sa.AndCount(sb), ba.AndCount(bb); got != want {
+			t.Fatalf("AndCount: %d vs %d", got, want)
+		}
+		if got, want := sa.AndCountAtLeast(sb, threshold), ba.AndCountAtLeast(bb, threshold); got != want {
+			t.Fatalf("AndCountAtLeast(%d): %v vs %v", threshold, got, want)
+		}
+		if got, want := sa.OrCount(sb), ba.OrCount(bb); got != want {
+			t.Fatalf("OrCount: %d vs %d", got, want)
+		}
+		if got, want := sa.Jaccard(sb), ba.Jaccard(bb); got != want {
+			t.Fatalf("Jaccard: %v vs %v", got, want)
+		}
+		and := sa.And(sb)
+		if got, want := and.Indices(), ba.And(bb).Indices(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("And members: %v vs %v", got, want)
+		}
+		if and.Count() != len(and.Indices()) {
+			t.Fatalf("And card %d != members %d", and.Count(), len(and.Indices()))
+		}
+		ip := sa.Clone()
+		ip.InPlaceAnd(sb)
+		if !ip.Equal(and) {
+			t.Fatal("InPlaceAnd disagrees with And")
+		}
+		cc := and.CompactClone()
+		if !cc.Equal(and) {
+			t.Fatal("CompactClone changed membership")
+		}
+		if got, want := sa.Indices(), ba.Indices(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("iteration: %v vs %v", got, want)
+		}
+		probe := threshold % (n + 1)
+		if probe < 0 {
+			probe = -probe % (n + 1)
+		}
+		if got, want := sa.NextSet(probe), ba.NextSet(probe); got != want {
+			t.Fatalf("NextSet(%d): %d vs %d", probe, got, want)
+		}
+	})
+}

@@ -28,11 +28,11 @@ import (
 	"context"
 	"sort"
 
-	"repro/internal/bitset"
 	"repro/internal/charm"
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/itemset"
+	"repro/internal/tidset"
 )
 
 // Options configures a mining run.
@@ -73,15 +73,16 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	}
 	meter := engine.NewMeter(ctx, Name, opts.Observer)
 
-	all := bitset.New(d.Size())
-	all.SetAll()
+	all := tidset.Full(d.Size())
 	c0 := charm.ClosureOf(d, all)
 
 	// The root node runs on the dispatcher: offer the root closure, gather
 	// its extension candidates, and order them by descending support — the
 	// candidate order is both the sequential visit order and the parallel
-	// task order.
-	root := &miner{meter: meter, d: d, opts: opts, minCount: opts.FloorMin}
+	// task order. The root's candidate tidsets come from the root scratch
+	// pool and are deliberately never recycled — the tasks keep reading
+	// them for the whole run.
+	root := &miner{meter: meter, d: d, opts: opts, minCount: opts.FloorMin, sc: newScratch(d)}
 	res.Visited++
 	root.offer(c0, all)
 	cands := root.candidates(c0, all, -1)
@@ -91,11 +92,13 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	// pruning — and visit count — is a pure function of the task alone.
 	base := root.minCount
 	perTask := make([]*miner, len(cands))
-	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), len(cands), func(_, task int) {
-		m := &miner{meter: meter, d: d, opts: opts, minCount: base}
-		m.extendFrom(c0, cands[task])
-		perTask[task] = m
-	})
+	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), len(cands),
+		func() *scratch { return newScratch(d) },
+		func(sc *scratch, task int) {
+			m := &miner{meter: meter, d: d, opts: opts, minCount: base, sc: sc}
+			m.extendFrom(c0, cands[task])
+			perTask[task] = m
+		})
 
 	// Merge: ppc-ext generates each closed pattern exactly once across the
 	// whole tree, so the union of the per-task heaps has no duplicates;
@@ -160,7 +163,21 @@ type miner struct {
 	minCount int
 	visited  int
 	stopped  bool
+	sc       *scratch
 	heap     patternHeap // min-heap under better() of the current best ≤ K qualifying patterns
+}
+
+// scratch is the per-worker allocation state: a pool recycling candidate
+// TID-sets of closed branches and a counting closure computer. Heap
+// entries use GC-owned compact clones, not an arena — evicted patterns
+// must be collectable, and the heap holds at most K survivors.
+type scratch struct {
+	pool   *tidset.Pool
+	closer *dataset.Closer
+}
+
+func newScratch(d *dataset.Dataset) *scratch {
+	return &scratch{pool: tidset.NewPool(d.Size()), closer: dataset.NewCloser(d)}
 }
 
 // visit records one search node with the meter and latches cancellation.
@@ -172,8 +189,10 @@ func (m *miner) visit() bool {
 }
 
 // offer considers a closed pattern for the top-k answer and raises the
-// internal threshold when the answer set is full.
-func (m *miner) offer(c itemset.Itemset, tids *bitset.Bitset) {
+// internal threshold when the answer set is full. c must be stable
+// (cloned out of any reusable closure buffer); tids may be pooled scratch
+// — the heap entry keeps a compact clone.
+func (m *miner) offer(c itemset.Itemset, tids *tidset.Set) {
 	if len(c) < m.opts.MinLength || len(c) == 0 {
 		return
 	}
@@ -182,7 +201,7 @@ func (m *miner) offer(c itemset.Itemset, tids *bitset.Bitset) {
 		return
 	}
 	m.meter.Emitted(1)
-	heap.Push(&m.heap, dataset.NewPatternCounted(c, tids.Clone(), sup))
+	heap.Push(&m.heap, dataset.NewPatternCounted(c, tids.CompactClone(), sup))
 	if len(m.heap) > m.opts.K {
 		heap.Pop(&m.heap)
 	}
@@ -196,22 +215,27 @@ func (m *miner) offer(c itemset.Itemset, tids *bitset.Bitset) {
 // cand is one frequent single-item extension of a closed set.
 type cand struct {
 	item int
-	sub  *bitset.Bitset
+	sub  *tidset.Set
 	sup  int
 }
 
 // candidates gathers the frequent extensions of the closed set c (support
 // set tids) with items greater than core, ordered by descending support so
 // high-support branches are visited first and the threshold rises fast.
-func (m *miner) candidates(c itemset.Itemset, tids *bitset.Bitset, core int) []cand {
+// The candidate tidsets are pooled scratch sets; the caller recycles them
+// when it is done with the list.
+func (m *miner) candidates(c itemset.Itemset, tids *tidset.Set, core int) []cand {
 	var cands []cand
 	for i := core + 1; i < m.d.NumItems(); i++ {
 		if c.Contains(i) {
 			continue
 		}
-		sub := tids.And(m.d.ItemTIDs(i))
+		sub := m.sc.pool.Get()
+		sub.AndOf(tids, m.d.ItemTIDs(i))
 		if sup := sub.Count(); sup >= m.minCount {
 			cands = append(cands, cand{item: i, sub: sub, sup: sup})
+		} else {
+			m.sc.pool.Put(sub)
 		}
 	}
 	sort.Slice(cands, func(a, b int) bool {
@@ -233,25 +257,32 @@ func (m *miner) extendFrom(c itemset.Itemset, cd cand) {
 	if cd.sup < m.minCount {
 		return
 	}
-	cc := charm.ClosureOf(m.d, cd.sub)
+	cc := m.sc.closer.Closure(cd.sub)
 	if !prefixPreserved(c, cc, cd.item) {
 		return
 	}
+	// The closer returns its reusable buffer; the heap entry and the
+	// recursion both need a stable copy.
+	cc = cc.Clone()
 	m.offer(cc, cd.sub)
 	m.extend(cc, cd.sub, cd.item)
 }
 
 // extend is the ppc-ext closed enumeration with dynamic threshold raising.
-func (m *miner) extend(c itemset.Itemset, tids *bitset.Bitset, core int) {
+func (m *miner) extend(c itemset.Itemset, tids *tidset.Set, core int) {
 	if m.visit() {
 		return
 	}
 	m.visited++
-	for _, cd := range m.candidates(c, tids, core) {
+	cands := m.candidates(c, tids, core)
+	for _, cd := range cands {
 		m.extendFrom(c, cd)
 		if m.stopped {
-			return
+			break
 		}
+	}
+	for _, cd := range cands {
+		m.sc.pool.Put(cd.sub)
 	}
 }
 

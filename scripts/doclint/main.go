@@ -10,8 +10,8 @@
 //
 // With no arguments it audits the default set: the public root package,
 // internal/engine (the contract every miner implements), internal/ingest
-// (the dataset ingestion surface), the four substrate packages
-// (bitset, itemset, rng, fptree), and the serving surface —
+// (the dataset ingestion surface), the five substrate packages
+// (tidset, bitset, itemset, rng, fptree), and the serving surface —
 // internal/server (jobs, catalog, persistence, tenancy) and
 // internal/metrics (the Prometheus registry). Exit status 1 and one "path: symbol"
 // line per finding when anything is undocumented.
@@ -33,6 +33,7 @@ var defaultDirs = []string{
 	".",
 	"internal/engine",
 	"internal/ingest",
+	"internal/tidset",
 	"internal/bitset",
 	"internal/itemset",
 	"internal/rng",
