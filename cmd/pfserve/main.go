@@ -36,6 +36,15 @@
 // server drains: admission stops (503), running jobs get -drain to
 // finish, the rest are checkpointed for the next start.
 //
+// Started with -peers, the server is a distributed coordinator: each job
+// is split into task-block shards leased to the listed worker pfserves
+// over this same API, with the dataset shipped once per worker (content-
+// hash keyed) and the partial reports merged byte-identically to the
+// single-node answer. Failed leases are retried (-shard-retries) and
+// repeatedly failing workers are quarantined for the rest of the job.
+//
+//	pfserve -addr :8080 -peers http://w1:8081,http://w2:8082
+//
 // See internal/server for the full API, docs/operations.md for the
 // operator runbook (metrics reference, on-disk layout, auth config),
 // and docs/formats.md for the accepted dataset formats.
@@ -50,6 +59,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -69,6 +79,12 @@ func main() {
 		maxUp    = flag.Int64("max-upload", 0, "max PUT /datasets/{name} body bytes; 0 = 32 MiB default, negative disables uploads")
 		authCfg  = flag.String("auth-config", "", "tenant config file enabling API keys + quotas (see docs/operations.md; empty = open access)")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight jobs before they are checkpointed")
+
+		peers         = flag.String("peers", "", "comma-separated worker pfserve base URLs; non-empty makes this server a distributed coordinator")
+		shardsPerPeer = flag.Int("shards-per-peer", 0, "concurrent shard leases per peer (0 = default 2)")
+		shardTimeout  = flag.Duration("shard-timeout", 0, "per-attempt shard lease timeout (0 = bounded by the job deadline only)")
+		shardRetries  = flag.Int("shard-retries", 0, "re-lease attempts per failed shard (0 = default 3)")
+		peerKey       = flag.String("peer-key", "", "API key sent on coordinator→peer calls (for authenticated worker rings)")
 	)
 	flag.Parse()
 
@@ -80,6 +96,17 @@ func main() {
 		DataDir:        *dataDir,
 		MaxParallelism: *maxPar,
 		MaxUploadBytes: *maxUp,
+		ShardsPerPeer:  *shardsPerPeer,
+		ShardTimeout:   *shardTimeout,
+		ShardRetries:   *shardRetries,
+		PeerAPIKey:     *peerKey,
+	}
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Peers = append(cfg.Peers, p)
+			}
+		}
 	}
 	if *dataDir != "" {
 		store, err := server.OpenStore(filepath.Join(*dataDir, "state"))
@@ -105,8 +132,8 @@ func main() {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "pfserve: listening on %s (workers=%d queue=%d timeout=%v persistent=%v auth=%v)\n",
-		*addr, *workers, *queue, *timeout, cfg.Store != nil, cfg.Auth != nil)
+	fmt.Fprintf(os.Stderr, "pfserve: listening on %s (workers=%d queue=%d timeout=%v persistent=%v auth=%v peers=%d)\n",
+		*addr, *workers, *queue, *timeout, cfg.Store != nil, cfg.Auth != nil, len(cfg.Peers))
 
 	select {
 	case err := <-errc:

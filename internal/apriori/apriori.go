@@ -31,6 +31,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/engine"
 	"repro/internal/itemset"
+	"repro/internal/tidset"
 )
 
 // Options configures a mining run.
@@ -128,7 +129,17 @@ func nextLevel(ctx context.Context, d *dataset.Dataset, level []*dataset.Pattern
 	stopped = engine.Tasks(ctx, workers, len(chunks), func(_, task int) {
 		lo, hi := chunks[task][0], chunks[task][1]
 		out := make([]*dataset.Pattern, 0, hi-lo)
-		var buf itemset.Itemset
+		// Candidates that fail the prune or the support check allocate
+		// nothing: the candidate itemset and its tidset live in reusable
+		// scratch buffers, and only survivors get detached — onto worker
+		// arenas, so even a retained pattern costs amortized well under
+		// one allocation for each of its two payloads.
+		var (
+			buf, cand itemset.Itemset
+			items     itemset.Arena
+			tids      tidset.Arena
+			scratch   = tidset.New(d.Size())
+		)
 		for i := lo; i < hi; i++ {
 			a := level[i]
 			k := len(a.Items)
@@ -140,16 +151,19 @@ func nextLevel(ctx context.Context, d *dataset.Dataset, level []*dataset.Pattern
 				if !samePrefix(a.Items, b.Items) {
 					break
 				}
-				cand := a.Items.Add(b.Items[k-1])
+				// b's last item sorts after a's (shared prefix, sorted
+				// level), so appending keeps the candidate canonical.
+				cand = append(append(cand[:0], a.Items...), b.Items[k-1])
 				// Prune step: every k-subset of cand must be frequent. The
 				// two subsets obtained by removing the last two items are a
 				// and b themselves, so check only the others.
 				if !allSubsetsFrequent(cand, freq, &buf) {
 					continue
 				}
-				tids := a.TIDs.And(d.ItemTIDs(b.Items[k-1]))
-				if c := tids.Count(); c >= minCount {
-					out = append(out, dataset.NewPatternCounted(cand, tids, c))
+				scratch.AndOf(a.TIDs, d.ItemTIDs(b.Items[k-1]))
+				if c := scratch.Count(); c >= minCount {
+					out = append(out, dataset.NewPatternCounted(
+						items.Copy(cand), tids.CompactClone(scratch), c))
 				}
 			}
 		}

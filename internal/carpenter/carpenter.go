@@ -74,6 +74,16 @@ func Mine(d *dataset.Dataset, minCount, minSize int) *Result {
 // Cancellation is polled on ctx at every search node; a canceled run
 // returns the patterns found so far with Stopped=true.
 func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
+	return mineRange(ctx, d, opts, 0, -1)
+}
+
+// mineRange mines the dispatcher's frontier tasks [lo, hi); hi < 0
+// selects all of them. It backs both MineOpts and the engine.Sharder
+// adapter. Every range replays the deterministic dispatcher expansion to
+// rebuild the task list, but the dispatcher's own output — the
+// above-frontier patterns and visit counts — belongs to the lo == 0
+// range only, so shard results sum to the single-node run.
+func mineRange(ctx context.Context, d *dataset.Dataset, opts Options, lo, hi int) *Result {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
@@ -83,19 +93,13 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 		return res
 	}
 	meter := engine.NewMeter(ctx, Name, opts.Observer)
-	root := &miner{meter: meter, d: d, opts: opts, res: res, n: n}
-	// Row item-bitsets, shared read-only by every task.
-	root.rows = make([]*bitset.Bitset, n)
-	for i := 0; i < n; i++ {
-		b := bitset.New(d.NumItems())
-		for _, item := range d.Transaction(i) {
-			b.Set(item)
-		}
-		root.rows[i] = b
+	rootRes := res
+	if lo != 0 {
+		rootRes = &Result{}
 	}
+	root := newRoot(meter, d, opts, rootRes)
 	full := bitset.New(d.NumItems())
 	full.SetAll()
-	root.inSet = make([]bool, n)
 
 	// The dispatcher expands the tree down to spawnDepth, collecting every
 	// frontier subtree as a task (each with its own intersection bitset
@@ -111,10 +115,19 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	}
 	root.enumerate(0, full, 0, 0)
 	root.spawn = nil
+	// A dispatcher canceled mid-expansion leaves a truncated task list;
+	// clamp the range so a shard call cannot index past it (the latched
+	// Stopped flag already marks the result partial).
+	if hi < 0 || hi > len(tasks) {
+		hi = len(tasks)
+	}
+	if lo > hi {
+		lo = hi
+	}
 
-	perTask := make([]*Result, len(tasks))
-	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), len(tasks), func(_, task int) {
-		ft := tasks[task]
+	perTask := make([]*Result, hi-lo)
+	stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), hi-lo, func(_, task int) {
+		ft := tasks[lo+task]
 		sub := &miner{meter: meter, d: d, opts: opts, res: &Result{}, n: n, rows: root.rows, inSet: ft.inSet}
 		sub.enumerate(ft.rsize, ft.x, ft.next, spawnDepth)
 		perTask[task] = sub.res
@@ -128,8 +141,44 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 		res.Visited += sub.Visited
 		stopped = stopped || sub.Stopped
 	}
-	res.Stopped = res.Stopped || stopped
+	res.Stopped = res.Stopped || rootRes.Stopped || stopped
 	return res
+}
+
+// newRoot builds the dispatcher miner with the shared read-only row
+// item-bitsets and row-membership state.
+func newRoot(meter *engine.Meter, d *dataset.Dataset, opts Options, res *Result) *miner {
+	n := d.Size()
+	root := &miner{meter: meter, d: d, opts: opts, res: res, n: n}
+	root.rows = make([]*bitset.Bitset, n)
+	for i := 0; i < n; i++ {
+		b := bitset.New(d.NumItems())
+		for _, item := range d.Transaction(i) {
+			b.Set(item)
+		}
+		root.rows[i] = b
+	}
+	root.inSet = make([]bool, n)
+	return root
+}
+
+// rootUnits replays the dispatcher expansion alone and returns its
+// frontier-task count — the shardable task-unit count — or 0 for the
+// degenerate empty run.
+func rootUnits(d *dataset.Dataset, opts Options) int {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	if d.Size() < opts.MinCount {
+		return 0
+	}
+	root := newRoot(engine.NewMeter(context.Background(), Name, nil), d, opts, &Result{})
+	full := bitset.New(d.NumItems())
+	full.SetAll()
+	units := 0
+	root.spawn = func(int, *bitset.Bitset, int) { units++ }
+	root.enumerate(0, full, 0, 0)
+	return units
 }
 
 // frontierTask is one pending enumerate call at spawnDepth: the arguments

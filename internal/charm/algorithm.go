@@ -22,12 +22,45 @@ func (algorithm) Name() string { return Name }
 // resolved support threshold, mined on Options.Parallelism workers.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
 	return engine.Run(Name, opts, engine.Uses{MinSize: true}, func() (*engine.Report, error) {
-		res := MineOpts(ctx, d, Options{
-			MinCount:    opts.ResolveMinCount(d),
-			MinSize:     opts.MinSize,
-			Parallelism: opts.Parallelism,
-			Observer:    opts.Observer,
-		})
+		res := MineOpts(ctx, d, minerOptions(d, opts))
 		return &engine.Report{Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
 	})
+}
+
+// minerOptions maps engine options onto this package's option set.
+func minerOptions(d *dataset.Dataset, opts engine.Options) Options {
+	return Options{
+		MinCount:    opts.ResolveMinCount(d),
+		MinSize:     opts.MinSize,
+		Parallelism: opts.Parallelism,
+		Observer:    opts.Observer,
+	}
+}
+
+// ShardUnits implements engine.Sharder: one task unit per candidate
+// extension item of the root closure, or 0 for the degenerate empty run
+// (support threshold above the row count).
+func (algorithm) ShardUnits(d *dataset.Dataset, opts engine.Options) int {
+	if d.Size() < opts.ResolveMinCount(d) {
+		return 0
+	}
+	return d.NumItems()
+}
+
+// MineShard implements engine.Sharder: mines the ppc-ext subtrees of
+// root extension items [lo, hi) and returns the raw task-order partial
+// report. The root node's visit and emission ride with the lo == 0
+// shard.
+func (a algorithm) MineShard(ctx context.Context, d *dataset.Dataset, opts engine.Options, lo, hi int) (*engine.Report, error) {
+	if err := engine.ValidateShard(Name, opts, lo, hi, a.ShardUnits(d, opts)); err != nil {
+		return nil, err
+	}
+	res := mineRange(ctx, d, minerOptions(d, opts), lo, hi)
+	return &engine.Report{Algorithm: Name, Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
+}
+
+// MergeShards implements engine.Sharder: ppc-ext subtrees are
+// independent, so the merge is the generic shard-order concatenation.
+func (algorithm) MergeShards(d *dataset.Dataset, opts engine.Options, parts []*engine.Report) (*engine.Report, error) {
+	return engine.MergeConcat(Name, opts, engine.Uses{MinSize: true}, parts)
 }

@@ -63,6 +63,15 @@ func Mine(d *dataset.Dataset, minCount int) *Result {
 // polled on ctx at every search node; a canceled run returns the patterns
 // found so far with Stopped=true.
 func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
+	return mineRange(ctx, d, opts, 0, -1)
+}
+
+// mineRange mines the root-closure extension items [lo, hi); hi < 0
+// selects all of them. It backs both MineOpts and the engine.Sharder
+// adapter. The root extend node (its visit count and the root closure's
+// emission) belongs to the lo == 0 range only, so shard counters and
+// patterns sum to the single-node run.
+func mineRange(ctx context.Context, d *dataset.Dataset, opts Options, lo, hi int) *Result {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
@@ -74,22 +83,28 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 
 	all := tidset.Full(d.Size())
 	c0 := ClosureOf(d, all)
-	root := &miner{meter: meter, d: d, opts: opts, res: res, sc: newScratch(d)}
-	root.res.Visited++ // the root extend node, processed here on the dispatcher
-	root.emit(c0, all, d.Size())
+	if hi < 0 {
+		hi = d.NumItems()
+	}
+	if lo == 0 {
+		// The root extend node, processed here on the dispatcher.
+		root := &miner{meter: meter, d: d, opts: opts, res: res, sc: newScratch(d)}
+		root.res.Visited++
+		root.emit(c0, all, d.Size())
+	}
 
 	// One task per candidate extension item of the root closure; each is
 	// the body of extend's loop for that item and explores its ppc-ext
 	// subtree independently (all and the item TID sets are read-only).
 	// Pools, closer and arenas live per worker, not per task: scratch reuse
 	// changes allocation, never values, so determinism is preserved.
-	perTask := make([]*Result, d.NumItems())
-	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), d.NumItems(),
+	perTask := make([]*Result, hi-lo)
+	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), hi-lo,
 		func() *scratch { return newScratch(d) },
 		func(sc *scratch, task int) {
 			sub := &Result{}
 			m := &miner{meter: meter, d: d, opts: opts, res: sub, sc: sc}
-			m.extendFrom(c0, all, task)
+			m.extendFrom(c0, all, lo+task)
 			perTask[task] = sub
 		})
 	for _, sub := range perTask {

@@ -390,7 +390,7 @@ func fusionStep(ctx context.Context, d *dataset.Dataset, pool []*dataset.Pattern
 		sc.ball = ball
 		if cfg.MaxBallSize > 0 && len(ball) > cfg.MaxBallSize {
 			sampled := sc.sample[:0]
-			for _, i := range r.SampleInts(len(ball), cfg.MaxBallSize) {
+			for _, i := range r.SampleIntsScratch(len(ball), cfg.MaxBallSize, &sc.draw) {
 				sampled = append(sampled, ball[i])
 			}
 			sc.sample = sampled
@@ -473,6 +473,15 @@ type fuseScratch struct {
 	itemsB itemset.Itemset
 	closer *dataset.Closer
 	supers map[itemset.Fingerprint]super
+	// Arenas back the retained copies behind newly discovered
+	// super-patterns: per-pattern itemset/TID-set/header allocations
+	// become amortized block carves, the same trick the exact miners use.
+	// Discarded candidates pin their block until every pattern carved
+	// from it dies — bounded per step, since the pool is rebuilt each
+	// iteration.
+	itemArena itemset.Arena
+	tidArena  tidset.Arena
+	draw      rng.SampleScratch
 }
 
 type super struct {
@@ -539,7 +548,7 @@ func fuse(d *dataset.Dataset, seed *dataset.Pattern, ball []*dataset.Pattern, cf
 		prev, ok := supers[fp]
 		switch {
 		case !ok:
-			supers[fp] = super{p: dataset.NewPatternCounted(items.Clone(), tids.CompactClone(), sup), fused: fused}
+			supers[fp] = super{p: dataset.NewPatternCounted(sc.itemArena.Copy(items), sc.tidArena.CompactClone(tids), sup), fused: fused}
 		case fused > prev.fused:
 			prev.fused = fused
 			supers[fp] = prev

@@ -21,12 +21,39 @@ func (algorithm) Name() string { return Name }
 // mined on Options.Parallelism workers.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
 	return engine.Run(Name, opts, engine.Uses{MaxSize: true}, func() (*engine.Report, error) {
-		res := MineOpts(ctx, d, Options{
-			MinCount:    opts.ResolveMinCount(d),
-			MaxSize:     opts.MaxSize,
-			Parallelism: opts.Parallelism,
-			Observer:    opts.Observer,
-		})
+		res := MineOpts(ctx, d, minerOptions(d, opts))
 		return &engine.Report{Patterns: res.Patterns, Stopped: res.Stopped}, nil
 	})
+}
+
+// minerOptions maps engine options onto this package's option set.
+func minerOptions(d *dataset.Dataset, opts engine.Options) Options {
+	return Options{
+		MinCount:    opts.ResolveMinCount(d),
+		MaxSize:     opts.MaxSize,
+		Parallelism: opts.Parallelism,
+		Observer:    opts.Observer,
+	}
+}
+
+// ShardUnits implements engine.Sharder: one task unit per frequent
+// single item (the first-level equivalence-class members).
+func (algorithm) ShardUnits(d *dataset.Dataset, opts engine.Options) int {
+	return len(d.FrequentItems(opts.ResolveMinCount(d)))
+}
+
+// MineShard implements engine.Sharder: mines the first-level subtrees
+// [lo, hi) and returns the raw task-order partial report.
+func (a algorithm) MineShard(ctx context.Context, d *dataset.Dataset, opts engine.Options, lo, hi int) (*engine.Report, error) {
+	if err := engine.ValidateShard(Name, opts, lo, hi, a.ShardUnits(d, opts)); err != nil {
+		return nil, err
+	}
+	res := mineRange(ctx, d, minerOptions(d, opts), lo, hi)
+	return &engine.Report{Algorithm: Name, Patterns: res.Patterns, Stopped: res.Stopped}, nil
+}
+
+// MergeShards implements engine.Sharder: per-task subtrees are
+// independent, so the merge is the generic shard-order concatenation.
+func (algorithm) MergeShards(d *dataset.Dataset, opts engine.Options, parts []*engine.Report) (*engine.Report, error) {
+	return engine.MergeConcat(Name, opts, engine.Uses{MaxSize: true}, parts)
 }

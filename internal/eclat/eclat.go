@@ -47,6 +47,14 @@ func Mine(d *dataset.Dataset, minCount int) *Result {
 // ctx at every search node; a canceled run returns the patterns found so
 // far with Stopped=true.
 func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
+	return mineRange(ctx, d, opts, 0, -1)
+}
+
+// mineRange mines the first-level class members [lo, hi); hi < 0 selects
+// the full class. It backs both MineOpts and the engine.Sharder adapter:
+// patterns are emitted in task order, so concatenating consecutive
+// ranges reproduces the full run byte for byte.
+func mineRange(ctx context.Context, d *dataset.Dataset, opts Options, lo, hi int) *Result {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
@@ -58,18 +66,21 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 		tids := d.ItemTIDs(item)
 		class = append(class, extension{item: item, sup: tids.Count(), tids: tids})
 	}
+	if hi < 0 {
+		hi = len(class)
+	}
 
 	// One task per first-level class member; the shared class slice is
 	// read-only across workers (its tidsets are dataset-owned and never
 	// pooled). Merging the per-task results in task order reproduces the
 	// sequential depth-first emission order exactly.
-	perTask := make([]*Result, len(class))
-	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), len(class),
+	perTask := make([]*Result, hi-lo)
+	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), hi-lo,
 		func() *scratch { return &scratch{pool: tidset.NewPool(d.Size())} },
 		func(sc *scratch, task int) {
 			sub := &Result{}
 			m := &miner{meter: meter, opts: opts, res: sub, sc: sc}
-			m.searchFrom(nil, class, task)
+			m.searchFrom(nil, class, lo+task)
 			perTask[task] = sub
 		})
 	for _, sub := range perTask {

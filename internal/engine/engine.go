@@ -165,6 +165,15 @@ const (
 	// PhaseDone is emitted once after mining completes (also when
 	// canceled).
 	PhaseDone Phase = "done"
+	// PhaseShardLeased is emitted by a distributed coordinator when a
+	// task-block shard is leased to a peer worker.
+	PhaseShardLeased Phase = "shard-leased"
+	// PhaseShardDone is emitted by a distributed coordinator when a
+	// leased shard's partial report has been received and accepted.
+	PhaseShardDone Phase = "shard-done"
+	// PhaseShardRetry is emitted by a distributed coordinator when a
+	// shard lease failed and the shard is re-queued for another peer.
+	PhaseShardRetry Phase = "shard-retry"
 )
 
 // Event is one structured progress observation. Events are emitted
@@ -184,6 +193,12 @@ type Event struct {
 	// (fusion iterations only). Observers must not modify or retain it;
 	// it is omitted from JSON encodings.
 	Pool []*dataset.Pattern `json:"-"`
+	// Shard, when non-empty, identifies the task-block shard a
+	// distributed event concerns, rendered "i/n" (1-based).
+	Shard string `json:"shard,omitempty"`
+	// Peer, when non-empty, is the base URL of the worker the shard
+	// event originated from or was leased to.
+	Peer string `json:"peer,omitempty"`
 }
 
 // Observer receives progress events. A nil Observer is always safe to

@@ -1,0 +1,151 @@
+// Shard conformance: for every algorithm that implements engine.Sharder,
+// splitting the run into task-range shards (mined independently, merged
+// in shard order) must reproduce the single-node Report byte for byte —
+// the invariant the distributed coordinator builds on.
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/engine"
+	_ "repro/internal/engine/all"
+	"repro/internal/rng"
+)
+
+// shardedMiners are the registry names expected to implement Sharder:
+// the six DFS miners whose searches decompose into static task blocks.
+// fusion (globally coupled iterations) and apriori (level-synchronous
+// candidate generation) are deliberately absent.
+var shardedMiners = []string{"closed", "closedrows", "eclat", "fpgrowth", "maximal", "topk"}
+
+func TestSharderCoverage(t *testing.T) {
+	want := map[string]bool{}
+	for _, name := range shardedMiners {
+		want[name] = true
+	}
+	for _, alg := range engine.All() {
+		_, ok := engine.AsSharder(alg)
+		if ok != want[alg.Name()] {
+			t.Errorf("%s: implements Sharder = %v, want %v", alg.Name(), ok, want[alg.Name()])
+		}
+	}
+}
+
+// splitRanges cuts [0, units) into n contiguous ranges with the same
+// formula the Tasks scheduler (and the coordinator's shard planner) uses.
+func splitRanges(units, n int) [][2]int {
+	if n > units {
+		n = units
+	}
+	var out [][2]int
+	for i := 0; i < n; i++ {
+		lo, hi := i*units/n, (i+1)*units/n
+		if lo < hi {
+			out = append(out, [2]int{lo, hi})
+		}
+	}
+	return out
+}
+
+// TestShardConformance pins the Sharder contract on the same workloads
+// the parallelism conformance test uses: for every Sharder and every
+// shard count, MergeShards over the MineShard parts must be
+// byte-identical to the single-node Mine.
+func TestShardConformance(t *testing.T) {
+	workloads := []struct {
+		name string
+		d    func() *dataset.Dataset
+	}{
+		{"DiagPlus", func() *dataset.Dataset { return datagen.DiagPlus(12, 6, 11) }},
+		{"Random", func() *dataset.Dataset { return datagen.Random(rng.New(3), 60, 24, 0.4) }},
+	}
+	ctx := context.Background()
+	for _, name := range shardedMiners {
+		alg, err := engine.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, ok := engine.AsSharder(alg)
+		if !ok {
+			t.Fatalf("%s does not implement Sharder", name)
+		}
+		for _, w := range workloads {
+			t.Run(name+"/"+w.name, func(t *testing.T) {
+				opts := conformanceOpts()
+				single, err := alg.Mine(ctx, w.d(), opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := string(engine.EncodeReport(single))
+
+				d := w.d()
+				units := s.ShardUnits(d, opts)
+				if units <= 0 {
+					t.Fatalf("ShardUnits = %d on a non-degenerate workload", units)
+				}
+				for _, n := range []int{1, 2, 3, 7} {
+					var parts []*engine.Report
+					for _, r := range splitRanges(units, n) {
+						part, err := s.MineShard(ctx, d, opts, r[0], r[1])
+						if err != nil {
+							t.Fatalf("MineShard[%d,%d): %v", r[0], r[1], err)
+						}
+						parts = append(parts, part)
+					}
+					merged, err := s.MergeShards(d, opts, parts)
+					if err != nil {
+						t.Fatalf("MergeShards over %d parts: %v", n, err)
+					}
+					if got := string(engine.EncodeReport(merged)); got != want {
+						t.Fatalf("%d shards diverged from single-node:\n%s\n%s", n, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestShardValidation pins the uniform MineShard precondition checks.
+func TestShardValidation(t *testing.T) {
+	d := datagen.DiagPlus(12, 6, 11)
+	opts := conformanceOpts()
+	for _, name := range shardedMiners {
+		alg, _ := engine.Get(name)
+		s, _ := engine.AsSharder(alg)
+		units := s.ShardUnits(d, opts)
+		for _, r := range [][2]int{{-1, 1}, {0, units + 1}, {2, 2}, {3, 1}} {
+			if _, err := s.MineShard(context.Background(), d, opts, r[0], r[1]); err == nil {
+				t.Errorf("%s: MineShard[%d,%d) with %d units accepted", name, r[0], r[1], units)
+			}
+		}
+		neg := opts
+		neg.Parallelism = -1
+		if _, err := s.MineShard(context.Background(), d, neg, 0, 1); err == nil {
+			t.Errorf("%s: MineShard accepted negative Parallelism", name)
+		}
+	}
+}
+
+// TestWireRoundTrip pins that the canonical wire encoding round-trips a
+// Report and that the hash is a pure function of observable content.
+func TestWireRoundTrip(t *testing.T) {
+	alg, _ := engine.Get("closed")
+	rep, err := alg.Mine(context.Background(), datagen.DiagPlus(12, 6, 11), conformanceOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := engine.EncodeReport(rep)
+	back, err := engine.DecodeReport(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(engine.EncodeReport(back)); got != string(b) {
+		t.Fatalf("wire round-trip not idempotent:\n%s\n%s", got, b)
+	}
+	if engine.ReportHash(rep) != engine.ReportHash(back) {
+		t.Fatal("hash changed across a wire round-trip")
+	}
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+
+	"repro/internal/dataset"
+)
+
+// WirePattern is one pattern in a Report's canonical wire encoding:
+// items and memoized support, no TID payload. TID sets are a single-node
+// acceleration structure, not part of the observable answer — the job
+// store and the HTTP result endpoint already drop them — so the
+// distributed layer's byte-identity guarantee is pinned at this
+// boundary.
+type WirePattern struct {
+	Items   []int `json:"items"`
+	Support int   `json:"support"`
+}
+
+// WireReport is the canonical serializable form of a Report. It carries
+// every field the determinism conformance tests observe, in a fixed
+// order, so that Encode bytes (and their sha256) are a pure function of
+// the Report's observable content.
+type WireReport struct {
+	Algorithm    string        `json:"algorithm"`
+	Patterns     []WirePattern `json:"patterns"`
+	InitPoolSize int           `json:"init_pool_size"`
+	Iterations   int           `json:"iterations"`
+	Visited      int           `json:"visited"`
+	Stopped      bool          `json:"stopped"`
+	Warnings     []string      `json:"warnings"`
+}
+
+// ToWire converts a Report to its wire form.
+func ToWire(rep *Report) WireReport {
+	w := WireReport{
+		Algorithm:    rep.Algorithm,
+		Patterns:     make([]WirePattern, 0, len(rep.Patterns)),
+		InitPoolSize: rep.InitPoolSize,
+		Iterations:   rep.Iterations,
+		Visited:      rep.Visited,
+		Stopped:      rep.Stopped,
+		Warnings:     rep.Warnings,
+	}
+	for _, p := range rep.Patterns {
+		w.Patterns = append(w.Patterns, WirePattern{Items: append([]int{}, p.Items...), Support: p.Support()})
+	}
+	return w
+}
+
+// FromWire reconstructs a Report from its wire form. Patterns carry
+// memoized supports but nil TID sets, matching what horizontal miners
+// (fpgrowth) produce natively.
+func (w WireReport) FromWire() *Report {
+	rep := &Report{
+		Algorithm:    w.Algorithm,
+		InitPoolSize: w.InitPoolSize,
+		Iterations:   w.Iterations,
+		Visited:      w.Visited,
+		Stopped:      w.Stopped,
+		Warnings:     w.Warnings,
+	}
+	if len(w.Patterns) > 0 {
+		rep.Patterns = make([]*dataset.Pattern, 0, len(w.Patterns))
+		for _, p := range w.Patterns {
+			rep.Patterns = append(rep.Patterns, dataset.NewPatternCounted(append([]int{}, p.Items...), nil, p.Support))
+		}
+	}
+	return rep
+}
+
+// EncodeReport renders a Report to canonical JSON bytes. Two Reports
+// with the same observable content encode identically; this is the
+// byte-identity boundary the distributed merge is held to.
+func EncodeReport(rep *Report) []byte {
+	b, err := json.Marshal(ToWire(rep))
+	if err != nil {
+		// Only unmarshalable values can fail here; WireReport has none.
+		panic("engine: encoding report: " + err.Error())
+	}
+	return b
+}
+
+// DecodeReport parses canonical Report bytes produced by EncodeReport.
+func DecodeReport(b []byte) (*Report, error) {
+	var w WireReport
+	if err := json.Unmarshal(b, &w); err != nil {
+		return nil, err
+	}
+	return w.FromWire(), nil
+}
+
+// ReportHash returns the hex sha256 of a Report's canonical encoding.
+func ReportHash(rep *Report) string {
+	sum := sha256.Sum256(EncodeReport(rep))
+	return hex.EncodeToString(sum[:])
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
+	"repro/internal/fptree"
 )
 
 // Name is this algorithm's engine registry name.
@@ -22,16 +23,53 @@ func (algorithm) Name() string { return Name }
 // so the reported patterns carry memoized support counts but nil TID sets.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
 	return engine.Run(Name, opts, engine.Uses{MaxSize: true}, func() (*engine.Report, error) {
-		res := MineOpts(ctx, d, Options{
-			MinCount:    opts.ResolveMinCount(d),
-			MaxSize:     opts.MaxSize,
-			Parallelism: opts.Parallelism,
-			Observer:    opts.Observer,
-		})
-		patterns := make([]*dataset.Pattern, len(res.Itemsets))
-		for i, ic := range res.Itemsets {
-			patterns[i] = dataset.NewPatternCounted(ic.Items, nil, ic.Count)
-		}
-		return &engine.Report{Patterns: patterns, Stopped: res.Stopped}, nil
+		res := MineOpts(ctx, d, minerOptions(d, opts))
+		return &engine.Report{Patterns: toPatterns(res), Stopped: res.Stopped}, nil
 	})
+}
+
+// minerOptions maps engine options onto this package's option set.
+func minerOptions(d *dataset.Dataset, opts engine.Options) Options {
+	return Options{
+		MinCount:    opts.ResolveMinCount(d),
+		MaxSize:     opts.MaxSize,
+		Parallelism: opts.Parallelism,
+		Observer:    opts.Observer,
+	}
+}
+
+// toPatterns converts mined itemset/count pairs to counted patterns with
+// nil TID sets (FP-growth is horizontal).
+func toPatterns(res *Result) []*dataset.Pattern {
+	patterns := make([]*dataset.Pattern, len(res.Itemsets))
+	for i, ic := range res.Itemsets {
+		patterns[i] = dataset.NewPatternCounted(ic.Items, nil, ic.Count)
+	}
+	return patterns
+}
+
+// ShardUnits implements engine.Sharder: one task unit per root header
+// item, or a single unit for the single-path degenerate root.
+func (algorithm) ShardUnits(d *dataset.Dataset, opts engine.Options) int {
+	tree := fptree.Build(d, opts.ResolveMinCount(d))
+	if tree.SinglePath() != nil {
+		return 1
+	}
+	return len(tree.Items())
+}
+
+// MineShard implements engine.Sharder: mines the conditional trees of
+// header items [lo, hi) and returns the raw task-order partial report.
+func (a algorithm) MineShard(ctx context.Context, d *dataset.Dataset, opts engine.Options, lo, hi int) (*engine.Report, error) {
+	if err := engine.ValidateShard(Name, opts, lo, hi, a.ShardUnits(d, opts)); err != nil {
+		return nil, err
+	}
+	res := mineRange(ctx, d, minerOptions(d, opts), lo, hi)
+	return &engine.Report{Algorithm: Name, Patterns: toPatterns(res), Stopped: res.Stopped}, nil
+}
+
+// MergeShards implements engine.Sharder: per-header-item subtrees are
+// independent, so the merge is the generic shard-order concatenation.
+func (algorithm) MergeShards(d *dataset.Dataset, opts engine.Options, parts []*engine.Report) (*engine.Report, error) {
+	return engine.MergeConcat(Name, opts, engine.Uses{MaxSize: true}, parts)
 }

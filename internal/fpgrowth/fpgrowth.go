@@ -57,6 +57,14 @@ func Mine(d *dataset.Dataset, minCount int) *Result {
 // on ctx at every conditional-tree node; a canceled run returns the
 // itemsets found so far with Stopped=true.
 func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
+	return mineRange(ctx, d, opts, 0, -1)
+}
+
+// mineRange mines the root header items [lo, hi); hi < 0 selects all of
+// them. It backs both MineOpts and the engine.Sharder adapter. A
+// single-path root is one task unit: the only valid shard is [0, 1) and
+// it runs the whole combination enumeration.
+func mineRange(ctx context.Context, d *dataset.Dataset, opts Options, lo, hi int) *Result {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
@@ -75,11 +83,14 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 		// One task per root header item — the roots of the conditional
 		// trees; the shared parent tree is read-only across workers.
 		items := tree.Items()
-		perTask := make([]*Result, len(items))
-		stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), len(items), func(_, task int) {
+		if hi < 0 {
+			hi = len(items)
+		}
+		perTask := make([]*Result, hi-lo)
+		stopped := engine.Tasks(ctx, engine.Workers(opts.Parallelism), hi-lo, func(_, task int) {
 			sub := &Result{}
 			m := &miner{meter: meter, opts: opts, res: sub}
-			m.growFrom(tree, nil, items[task])
+			m.growFrom(tree, nil, items[lo+task])
 			perTask[task] = sub
 		})
 		for _, sub := range perTask {

@@ -2,6 +2,7 @@ package maximal
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -20,11 +21,56 @@ func (algorithm) Name() string { return Name }
 // the resolved support threshold, mined on Options.Parallelism workers.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
 	return engine.Run(Name, opts, engine.Uses{}, func() (*engine.Report, error) {
-		res := MineOpts(ctx, d, Options{
-			MinCount:    opts.ResolveMinCount(d),
-			Parallelism: opts.Parallelism,
-			Observer:    opts.Observer,
-		})
+		res := MineOpts(ctx, d, minerOptions(d, opts))
 		return &engine.Report{Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
+	})
+}
+
+// minerOptions maps engine options onto this package's option set.
+func minerOptions(d *dataset.Dataset, opts engine.Options) Options {
+	return Options{
+		MinCount:    opts.ResolveMinCount(d),
+		Parallelism: opts.Parallelism,
+		Observer:    opts.Observer,
+	}
+}
+
+// ShardUnits implements engine.Sharder: one task unit per surviving
+// root extension, or 0 when the root node handles the run outright.
+func (algorithm) ShardUnits(d *dataset.Dataset, opts engine.Options) int {
+	return rootUnits(d, Options{MinCount: opts.ResolveMinCount(d)})
+}
+
+// MineShard implements engine.Sharder: mines the subtrees of root
+// extensions [lo, hi) and returns the raw task-order candidate stream —
+// deliberately NOT subsumption-filtered, because the earliest-wins
+// filter must replay over the full cross-shard stream to reproduce the
+// shared-MFI answer. The root node's visit rides with the lo == 0 shard.
+func (a algorithm) MineShard(ctx context.Context, d *dataset.Dataset, opts engine.Options, lo, hi int) (*engine.Report, error) {
+	if err := engine.ValidateShard(Name, opts, lo, hi, a.ShardUnits(d, opts)); err != nil {
+		return nil, err
+	}
+	res, candidates, _ := mineRange(ctx, d, minerOptions(d, opts), lo, hi)
+	return &engine.Report{Algorithm: Name, Patterns: candidates, Visited: res.Visited, Stopped: res.Stopped}, nil
+}
+
+// MergeShards implements engine.Sharder: concatenate the raw candidate
+// streams in shard order — restoring the exact task-order stream a
+// single-node run produces — then apply the sequential earliest-wins
+// subsumption filter once, globally.
+func (algorithm) MergeShards(d *dataset.Dataset, opts engine.Options, parts []*engine.Report) (*engine.Report, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("maximal: MergeShards needs at least one part")
+	}
+	return engine.Run(Name, opts, engine.Uses{}, func() (*engine.Report, error) {
+		res := &engine.Report{}
+		var candidates []*dataset.Pattern
+		for _, p := range parts {
+			candidates = append(candidates, p.Patterns...)
+			res.Visited += p.Visited
+			res.Stopped = res.Stopped || p.Stopped
+		}
+		res.Patterns = filterSubsumed(d, candidates)
+		return res, nil
 	})
 }

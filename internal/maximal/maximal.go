@@ -69,6 +69,27 @@ func Mine(d *dataset.Dataset, minCount int) *Result {
 // polled on ctx at every search node; a canceled run returns the patterns
 // found so far with Stopped=true.
 func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
+	res, candidates, handled := mineRange(ctx, d, opts, 0, -1)
+	if handled {
+		return res
+	}
+	// Task-local MFIs only prune within their own subtree; the earliest-
+	// wins filter removes the cross-subtree subsumptions a shared MFI
+	// would have caught, restoring the sequential answer exactly.
+	res.Patterns = filterSubsumed(d, candidates)
+	return res
+}
+
+// mineRange runs the root node and the task subtrees of root extensions
+// [lo, hi); hi < 0 selects all of them. A degenerate run — no frequent
+// items, or a root handled without recursion — returns the completed
+// result with handled=true. Otherwise the result carries counters only
+// and the raw task-order candidate stream comes back separately, NOT yet
+// subsumption-filtered: shard callers concatenate the streams of
+// consecutive ranges before one global filterSubsumed, which restores
+// the shared-MFI answer exactly. The root node's visit count belongs to
+// the lo == 0 range only.
+func mineRange(ctx context.Context, d *dataset.Dataset, opts Options, lo, hi int) (*Result, []*dataset.Pattern, bool) {
 	if opts.MinCount < 1 {
 		opts.MinCount = 1
 	}
@@ -81,7 +102,7 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 		tail = append(tail, extension{item: item, tids: tids, sup: tids.Count()})
 	}
 	if len(tail) == 0 {
-		return root.res
+		return root.res, nil, true
 	}
 	all := tidset.Full(d.Size())
 
@@ -92,16 +113,23 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	// the tasks keep reading them for the whole run.
 	root.res.Visited++
 	head, exts, handled := root.node(nil, all, tail)
-	res := root.res
 	if handled {
-		return res
+		return root.res, nil, true
 	}
-	perTask := make([]*Result, len(exts))
-	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), len(exts),
+	if hi < 0 {
+		hi = len(exts)
+	}
+	res := &Result{}
+	if lo == 0 {
+		res.Visited = root.res.Visited
+	}
+	perTask := make([]*Result, hi-lo)
+	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), hi-lo,
 		func() *scratch { return newScratch(d) },
 		func(sc *scratch, task int) {
+			t := lo + task
 			sub := &miner{meter: meter, d: d, opts: opts, res: &Result{}, sc: sc}
-			sub.search(head.Add(exts[task].item), exts[task].tids, exts[task+1:])
+			sub.search(head.Add(exts[t].item), exts[t].tids, exts[t+1:])
 			perTask[task] = sub.res
 		})
 	var candidates []*dataset.Pattern
@@ -114,12 +142,32 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 		res.Visited += sub.Visited
 		stopped = stopped || sub.Stopped
 	}
-	// Task-local MFIs only prune within their own subtree; the earliest-
-	// wins filter removes the cross-subtree subsumptions a shared MFI
-	// would have caught, restoring the sequential answer exactly.
-	res.Patterns = filterSubsumed(d, candidates)
 	res.Stopped = stopped
-	return res
+	return res, candidates, false
+}
+
+// rootUnits runs the root node alone and returns its surviving extension
+// count — the shardable task-unit count — or 0 for runs the root handles
+// outright (no frequent items, PEP/FHUT/HUTMFI closing the whole tree).
+func rootUnits(d *dataset.Dataset, opts Options) int {
+	if opts.MinCount < 1 {
+		opts.MinCount = 1
+	}
+	root := &miner{meter: engine.NewMeter(context.Background(), Name, nil),
+		d: d, opts: opts, res: &Result{}, sc: newScratch(d)}
+	var tail []extension
+	for _, item := range d.FrequentItems(opts.MinCount) {
+		tids := d.ItemTIDs(item)
+		tail = append(tail, extension{item: item, tids: tids, sup: tids.Count()})
+	}
+	if len(tail) == 0 {
+		return 0
+	}
+	_, exts, handled := root.node(nil, tidset.Full(d.Size()), tail)
+	if handled {
+		return 0
+	}
+	return len(exts)
 }
 
 // filterSubsumed keeps, in order, every candidate not contained in an

@@ -150,6 +150,48 @@ func (r *RNG) SampleInts(n, k int) []int {
 	return chosen
 }
 
+// SampleScratch holds the reusable buffers behind SampleIntsScratch. The
+// zero value is ready; a scratch belongs to one goroutine.
+type SampleScratch struct {
+	perm []int
+	out  []int
+}
+
+// SampleIntsScratch is SampleInts backed by caller-owned scratch: the
+// same draws, the same order, the same RNG consumption, but zero
+// steady-state allocation. The returned slice aliases the scratch and is
+// only valid until the next call with the same scratch.
+func (r *RNG) SampleIntsScratch(n, k int, sc *SampleScratch) []int {
+	if k > n {
+		k = n
+	}
+	if cap(sc.perm) < n {
+		sc.perm = make([]int, n)
+	}
+	perm := sc.perm[:n]
+	for i := range perm {
+		perm[i] = i
+	}
+	if k == n {
+		// SampleInts delegates to Perm here; replicate its draw order.
+		r.ShuffleInts(perm)
+		return perm
+	}
+	if cap(sc.out) < k {
+		sc.out = make([]int, 0, k)
+	}
+	out := sc.out[:0]
+	// Partial Fisher–Yates, materialized: position i is never revisited
+	// once passed, so swapping into the prefix reproduces SampleInts's
+	// lazy-map bookkeeping value for value.
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		perm[i], perm[j] = perm[j], perm[i]
+		out = append(out, perm[i])
+	}
+	return out
+}
+
 // WeightedIndex draws an index in [0, len(weights)) with probability
 // proportional to weights[i]. Non-positive weights are treated as zero.
 // It panics if the total weight is not positive.

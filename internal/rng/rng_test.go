@@ -134,6 +134,29 @@ func TestSampleIntsAllWhenKTooLarge(t *testing.T) {
 	}
 }
 
+// TestSampleIntsScratchMatchesSampleInts pins the scratch variant to the
+// allocating one: same seed, same draws, same order — including the
+// k >= n permutation path — across repeated reuse of one scratch.
+func TestSampleIntsScratchMatchesSampleInts(t *testing.T) {
+	var sc SampleScratch
+	ra, rb := New(41), New(41)
+	for trial := 0; trial < 50; trial++ {
+		for _, nk := range [][2]int{{20, 7}, {5, 10}, {8, 8}, {300, 12}, {1, 1}} {
+			n, k := nk[0], nk[1]
+			want := ra.SampleInts(n, k)
+			got := rb.SampleIntsScratch(n, k, &sc)
+			if len(got) != len(want) {
+				t.Fatalf("SampleIntsScratch(%d,%d) returned %d values, want %d", n, k, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("SampleIntsScratch(%d,%d)[%d] = %d, want %d", n, k, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
 func TestSampleIntsUniform(t *testing.T) {
 	r := New(13)
 	counts := make([]int, 10)

@@ -101,6 +101,25 @@ type Config struct {
 	// Metrics receives the server's Prometheus instruments; nil makes
 	// NewManager create a private registry (never nil afterwards).
 	Metrics *Metrics
+	// Peers, when non-empty, turns this server into a distributed
+	// coordinator: ordinary jobs are split into task-block shards and
+	// leased to these pfserve base URLs over the standard job API (see
+	// distributed.go). Jobs that are themselves shard leases always run
+	// locally, so workers never re-distribute.
+	Peers []string
+	// ShardsPerPeer bounds the concurrent shard leases per peer (and
+	// sizes the plan: up to len(Peers)*ShardsPerPeer shards). Defaults
+	// to 2.
+	ShardsPerPeer int
+	// ShardTimeout bounds one shard lease attempt; zero leaves attempts
+	// bounded only by the job's own deadline.
+	ShardTimeout time.Duration
+	// ShardRetries caps the re-leases of one shard after failed
+	// attempts. Defaults to 3.
+	ShardRetries int
+	// PeerAPIKey, when non-empty, authenticates coordinator→peer calls
+	// (sent as X-API-Key).
+	PeerAPIKey string
 }
 
 func (c Config) withDefaults() Config {
@@ -127,6 +146,12 @@ func (c Config) withDefaults() Config {
 		if c.MaxParallelism < 1 {
 			c.MaxParallelism = 1
 		}
+	}
+	if c.ShardsPerPeer <= 0 {
+		c.ShardsPerPeer = 2
+	}
+	if c.ShardRetries <= 0 {
+		c.ShardRetries = 3
 	}
 	if c.Metrics == nil {
 		c.Metrics = NewMetrics(nil)
@@ -640,6 +665,24 @@ func (m *Manager) mine(ctx context.Context, j *Job) (rep *engine.Report, err err
 		func(e engine.Event) { m.appendEvent(j, e) },
 		engine.CountEvents(m.metrics.EventsTotal),
 	)
+	// Three execution shapes. A shard lease (Spec.Shard != nil) always
+	// runs locally: either the whole job on behalf of a coordinator
+	// (Whole) or one raw task-block partial — never re-distributed, so a
+	// mis-wired peer ring cannot recurse. Otherwise, with Peers
+	// configured this server is a coordinator and fans the job out.
+	if sh := j.Spec.Shard; sh != nil && !sh.Whole {
+		s, ok := engine.AsSharder(alg)
+		if !ok { // validated at submission; defensive for recovered records
+			return nil, fmt.Errorf("server: algorithm %q does not support sharded execution", alg.Name())
+		}
+		if units := s.ShardUnits(d, opts); units != sh.Units {
+			return nil, fmt.Errorf("server: shard units mismatch: coordinator planned %d, this worker computed %d (dataset or version drift)", sh.Units, units)
+		}
+		return s.MineShard(ctx, d, opts, sh.Lo, sh.Hi)
+	}
+	if j.Spec.Shard == nil && len(m.cfg.Peers) > 0 {
+		return m.mineDistributed(ctx, j, alg, d, opts)
+	}
 	return alg.Mine(ctx, d, opts)
 }
 

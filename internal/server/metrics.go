@@ -47,6 +47,17 @@ type Metrics struct {
 	// labeled (reason): missing_key, bad_key, forbidden, job_quota,
 	// catalog_quota, queue_full.
 	AuthRejections *metrics.Counter
+	// ShardsTotal counts distributed shard lease outcomes on the
+	// coordinator, labeled (state): done, failed, retried.
+	ShardsTotal *metrics.Counter
+	// ShardsInFlight gauges shard leases currently held on peers.
+	ShardsInFlight *metrics.Gauge
+	// ShardSeconds is the per-shard lease wall-time histogram (dataset
+	// ship + remote mine + result fetch), labeled (algorithm).
+	ShardSeconds *metrics.Histogram
+	// ShardUploads counts dataset ships to peers, labeled (outcome):
+	// hit (already cached by content hash) or miss (uploaded).
+	ShardUploads *metrics.Counter
 }
 
 // NewMetrics registers the pfserve instrument set on reg (a nil reg
@@ -83,6 +94,14 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 			"API requests by method and status code.", "method", "code"),
 		AuthRejections: reg.NewCounter("pfserve_auth_rejections_total",
 			"Authentication and admission rejections.", "reason"),
+		ShardsTotal: reg.NewCounter("pfserve_shards_total",
+			"Distributed shard lease outcomes.", "state"),
+		ShardsInFlight: reg.NewGauge("pfserve_shards_in_flight",
+			"Shard leases currently held on peers."),
+		ShardSeconds: reg.NewHistogram("pfserve_shard_duration_seconds",
+			"Wall time of one shard lease (ship + mine + fetch).", nil, "algorithm"),
+		ShardUploads: reg.NewCounter("pfserve_shard_dataset_uploads_total",
+			"Dataset ships to peers by cache outcome.", "outcome"),
 	}
 }
 

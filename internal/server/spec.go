@@ -27,6 +27,48 @@ type JobSpec struct {
 	// TimeoutMS optionally bounds the run; it is clamped to the server's
 	// default timeout.
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// Shard, when set, marks this job as one task-block lease of a
+	// distributed run (see the coordinator in distributed.go). Shard jobs
+	// always execute locally — a worker never re-distributes leased work —
+	// and, unless Whole is set, return the RAW partial report of task
+	// units [Lo, Hi) (unsorted, unbracketed; the coordinator merges).
+	Shard *ShardSpec `json:"shard,omitempty"`
+}
+
+// ShardSpec identifies one task-block lease of a distributed run.
+type ShardSpec struct {
+	// Lo and Hi bound the half-open task-unit range [Lo, Hi) to mine.
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+	// Units is the coordinator's planned task-unit count. The worker
+	// recomputes the decomposition from the shipped dataset and fails the
+	// shard on a mismatch, so representation drift surfaces as a loud
+	// error instead of silently mining the wrong subtrees.
+	Units int `json:"units"`
+	// Whole marks a whole-job lease: the worker runs the plain algorithm
+	// and returns the full bracketed report. Used for algorithms without
+	// a Sharder implementation and for degenerate decompositions.
+	Whole bool `json:"whole,omitempty"`
+}
+
+func (sh *ShardSpec) validate(algorithm string) error {
+	if sh.Whole {
+		if sh.Lo != 0 || sh.Hi != 0 || sh.Units != 0 {
+			return fmt.Errorf("server: whole-job shard must not set lo/hi/units")
+		}
+		return nil
+	}
+	alg, err := engine.Get(algorithm)
+	if err != nil {
+		return err
+	}
+	if _, ok := engine.AsSharder(alg); !ok {
+		return fmt.Errorf("server: algorithm %q does not support sharded execution", algorithm)
+	}
+	if sh.Units < 1 || sh.Lo < 0 || sh.Hi > sh.Units || sh.Lo >= sh.Hi {
+		return fmt.Errorf("server: invalid shard [%d,%d) of %d task units", sh.Lo, sh.Hi, sh.Units)
+	}
+	return nil
 }
 
 func (s JobSpec) timeout() time.Duration {
@@ -42,6 +84,11 @@ func (s JobSpec) validate(cfg Config, cat *Catalog) error {
 	}
 	if s.Options.Parallelism < 0 {
 		return fmt.Errorf("server: parallelism must be >= 0, got %d", s.Options.Parallelism)
+	}
+	if s.Shard != nil {
+		if err := s.Shard.validate(s.Algorithm); err != nil {
+			return err
+		}
 	}
 	return s.Dataset.validate(cfg, cat)
 }

@@ -2,6 +2,8 @@ package topk
 
 import (
 	"context"
+	"fmt"
+	"sort"
 
 	"repro/internal/dataset"
 	"repro/internal/engine"
@@ -22,21 +24,72 @@ func (algorithm) Name() string { return Name }
 // optional support floor.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
 	return engine.Run(Name, opts, engine.Uses{K: true, MinSize: true}, func() (*engine.Report, error) {
-		k := opts.K
-		if k == 0 {
-			k = 100
-		}
-		floor := 1
-		if opts.MinCount > 0 || opts.MinSupport > 0 {
-			floor = opts.ResolveMinCount(d)
-		}
-		res := MineOpts(ctx, d, Options{
-			K:           k,
-			MinLength:   opts.MinSize,
-			FloorMin:    floor,
-			Parallelism: opts.Parallelism,
-			Observer:    opts.Observer,
-		})
+		res := MineOpts(ctx, d, minerOptions(d, opts))
 		return &engine.Report{Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
+	})
+}
+
+// minerOptions maps engine options onto this package's option set,
+// resolving the k default and the optional support floor.
+func minerOptions(d *dataset.Dataset, opts engine.Options) Options {
+	k := opts.K
+	if k == 0 {
+		k = 100
+	}
+	floor := 1
+	if opts.MinCount > 0 || opts.MinSupport > 0 {
+		floor = opts.ResolveMinCount(d)
+	}
+	return Options{
+		K:           k,
+		MinLength:   opts.MinSize,
+		FloorMin:    floor,
+		Parallelism: opts.Parallelism,
+		Observer:    opts.Observer,
+	}
+}
+
+// ShardUnits implements engine.Sharder: one task unit per root-closure
+// candidate extension (computed by replaying the deterministic root
+// node), or 0 for runs the root handles outright.
+func (algorithm) ShardUnits(d *dataset.Dataset, opts engine.Options) int {
+	return rootUnits(d, minerOptions(d, opts))
+}
+
+// MineShard implements engine.Sharder: mines the subtrees of root
+// candidates [lo, hi) and returns the range's top-K under the better()
+// total order. The root node's visit and heap contribution ride with the
+// lo == 0 shard; per-shard truncation to K is exact because the global
+// top-K equals the top-K of the per-shard top-Ks.
+func (a algorithm) MineShard(ctx context.Context, d *dataset.Dataset, opts engine.Options, lo, hi int) (*engine.Report, error) {
+	if err := engine.ValidateShard(Name, opts, lo, hi, a.ShardUnits(d, opts)); err != nil {
+		return nil, err
+	}
+	res := mineRange(ctx, d, minerOptions(d, opts), lo, hi)
+	return &engine.Report{Algorithm: Name, Patterns: res.Patterns, Visited: res.Visited, Stopped: res.Stopped}, nil
+}
+
+// MergeShards implements engine.Sharder: pool the per-shard top-Ks —
+// distinct closed patterns, so the better() order is strict across the
+// union — re-select the global top-K, and sum the visit counts.
+func (algorithm) MergeShards(d *dataset.Dataset, opts engine.Options, parts []*engine.Report) (*engine.Report, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("topk: MergeShards needs at least one part")
+	}
+	k := minerOptions(d, opts).K
+	return engine.Run(Name, opts, engine.Uses{K: true, MinSize: true}, func() (*engine.Report, error) {
+		res := &engine.Report{}
+		var merged []*dataset.Pattern
+		for _, p := range parts {
+			merged = append(merged, p.Patterns...)
+			res.Visited += p.Visited
+			res.Stopped = res.Stopped || p.Stopped
+		}
+		sort.Slice(merged, func(i, j int) bool { return better(merged[i], merged[j]) })
+		if len(merged) > k {
+			merged = merged[:k]
+		}
+		res.Patterns = merged
+		return res, nil
 	})
 }

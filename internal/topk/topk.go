@@ -61,6 +61,18 @@ func Mine(d *dataset.Dataset, k, minLength int) *Result {
 // at every search node; a canceled run returns the best patterns found so
 // far with Stopped=true.
 func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
+	return mineRange(ctx, d, opts, 0, -1)
+}
+
+// mineRange mines the root-closure candidate extensions [lo, hi); hi < 0
+// selects all of them. It backs both MineOpts and the engine.Sharder
+// adapter. Every range runs the root node identically — the candidate
+// order and the post-root threshold are pure functions of (d, opts) — but
+// the root's visit count and its heap contribution belong to the lo == 0
+// range only. The returned Patterns are the range's top-K under the
+// better() total order; because that order is strict on distinct closed
+// patterns, the global top-K equals the top-K of the per-range top-Ks.
+func mineRange(ctx context.Context, d *dataset.Dataset, opts Options, lo, hi int) *Result {
 	if opts.K < 1 {
 		opts.K = 1
 	}
@@ -83,27 +95,33 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	// pool and are deliberately never recycled — the tasks keep reading
 	// them for the whole run.
 	root := &miner{meter: meter, d: d, opts: opts, minCount: opts.FloorMin, sc: newScratch(d)}
-	res.Visited++
 	root.offer(c0, all)
 	cands := root.candidates(c0, all, -1)
+	if hi < 0 {
+		hi = len(cands)
+	}
 
 	// Every task seeds its threshold with the dispatcher's (deterministic)
 	// post-root value and raises it only from its own subtree, so its
 	// pruning — and visit count — is a pure function of the task alone.
 	base := root.minCount
-	perTask := make([]*miner, len(cands))
-	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), len(cands),
+	perTask := make([]*miner, hi-lo)
+	stopped := engine.TasksWithScratch(ctx, engine.Workers(opts.Parallelism), hi-lo,
 		func() *scratch { return newScratch(d) },
 		func(sc *scratch, task int) {
 			m := &miner{meter: meter, d: d, opts: opts, minCount: base, sc: sc}
-			m.extendFrom(c0, cands[task])
+			m.extendFrom(c0, cands[lo+task])
 			perTask[task] = m
 		})
 
 	// Merge: ppc-ext generates each closed pattern exactly once across the
 	// whole tree, so the union of the per-task heaps has no duplicates;
 	// the top K under the total order are the answer.
-	merged := append([]*dataset.Pattern{}, root.heap...)
+	var merged []*dataset.Pattern
+	if lo == 0 {
+		res.Visited++
+		merged = append(merged, root.heap...)
+	}
 	for _, m := range perTask {
 		if m == nil {
 			stopped = true // abandoned after cancellation
@@ -133,6 +151,26 @@ func MineOpts(ctx context.Context, d *dataset.Dataset, opts Options) *Result {
 	}
 	res.Stopped = stopped
 	return res
+}
+
+// rootUnits runs the root node alone — exactly as mineRange does — and
+// returns its candidate-extension count, the shardable task-unit count.
+func rootUnits(d *dataset.Dataset, opts Options) int {
+	if opts.K < 1 {
+		opts.K = 1
+	}
+	if opts.FloorMin < 1 {
+		opts.FloorMin = 1
+	}
+	if d.Size() < opts.FloorMin {
+		return 0
+	}
+	all := tidset.Full(d.Size())
+	c0 := charm.ClosureOf(d, all)
+	root := &miner{meter: engine.NewMeter(context.Background(), Name, nil),
+		d: d, opts: opts, minCount: opts.FloorMin, sc: newScratch(d)}
+	root.offer(c0, all)
+	return len(root.candidates(c0, all, -1))
 }
 
 // better is the strict total order defining the answer set: higher

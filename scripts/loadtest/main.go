@@ -10,7 +10,10 @@
 //
 // With no -url it starts an in-process pfserve (the same Manager +
 // Handler the binary serves) on a loopback listener, so the measured
-// path includes real HTTP, JSON and scheduling costs. Each of
+// path includes real HTTP, JSON and scheduling costs. -cluster N
+// additionally self-hosts N worker pfserves and aims the job mix at a
+// coordinator that shards across them — the distributed smoke behind
+// BENCH_7.json, with the pfserve_shards_* samples in the summary. Each of
 // -concurrency client goroutines round-robins over the -algorithms mix:
 // submit (retrying 429 per its Retry-After), poll to terminal, fetch the
 // result. At the end the harness scrapes /metrics and fails unless the
@@ -59,6 +62,7 @@ type summary struct {
 	GOOS          string             `json:"goos"`
 	GOARCH        string             `json:"goarch"`
 	SelfHosted    bool               `json:"self_hosted"`
+	Cluster       int                `json:"cluster,omitempty"`
 	Workers       int                `json:"workers,omitempty"`
 	Jobs          int                `json:"jobs"`
 	Concurrency   int                `json:"concurrency"`
@@ -83,6 +87,7 @@ func main() {
 		algos  = flag.String("algorithms", "fusion,apriori,eclat,fpgrowth", "comma-separated algorithm mix")
 		n      = flag.Int("n", 16, "diagplus generator size (the per-job workload)")
 		wrk    = flag.Int("workers", 2, "worker pool size of the self-hosted server")
+		clus   = flag.Int("cluster", 0, "self-host this many worker pfserves behind a sharding coordinator (0 = single node; needs no -url)")
 		out    = flag.String("out", "", "summary output file (empty = stdout)")
 		silent = flag.Bool("q", false, "suppress progress logging")
 	)
@@ -90,8 +95,22 @@ func main() {
 
 	base := *url
 	selfHosted := base == ""
+	if !selfHosted && *clus > 0 {
+		fmt.Fprintln(os.Stderr, "loadtest: -cluster needs a self-hosted server (drop -url)")
+		os.Exit(2)
+	}
 	if selfHosted {
-		mgr := server.NewManager(server.Config{Workers: *wrk, QueueDepth: *jobs + *conc})
+		var peers []string
+		for i := 0; i < *clus; i++ {
+			wm := server.NewManager(server.Config{Workers: *wrk, QueueDepth: *jobs + *conc})
+			wts := httptest.NewServer(server.Handler(wm))
+			defer func() {
+				wts.Close()
+				wm.Close()
+			}()
+			peers = append(peers, wts.URL)
+		}
+		mgr := server.NewManager(server.Config{Workers: *wrk, QueueDepth: *jobs + *conc, Peers: peers})
 		ts := httptest.NewServer(server.Handler(mgr))
 		defer func() {
 			ts.Close()
@@ -157,6 +176,7 @@ func main() {
 	}
 	if selfHosted {
 		sum.Workers = *wrk
+		sum.Cluster = *clus
 	}
 	var submits, totals []float64
 	for _, r := range results {
@@ -331,7 +351,10 @@ func scrapeMetrics(base, key string) (map[string]float64, error) {
 		if !strings.HasPrefix(line, "pfserve_jobs_total") &&
 			!strings.HasPrefix(line, "pfserve_engine_events_total") &&
 			!strings.HasPrefix(line, "pfserve_queue_depth") &&
-			!strings.HasPrefix(line, "pfserve_mine_duration_seconds_count") {
+			!strings.HasPrefix(line, "pfserve_mine_duration_seconds_count") &&
+			!strings.HasPrefix(line, "pfserve_shards_total") &&
+			!strings.HasPrefix(line, "pfserve_shard_dataset_uploads_total") &&
+			!strings.HasPrefix(line, "pfserve_shard_duration_seconds_count") {
 			continue
 		}
 		fields := strings.Fields(line)
