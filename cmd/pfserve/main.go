@@ -27,6 +27,14 @@
 //	  "options":   {"min_support": 0.05, "k": 50}
 //	}'
 //
+//	# stream new rows into it and re-mine on arrival (docs/streaming.md)
+//	curl -s -X POST localhost:8080/datasets/census/rows --data-binary @new-rows.csv.gz
+//	curl -s -X PUT localhost:8080/datasets/census/monitor -d '{
+//	  "threshold_rows": 100, "incremental": true,
+//	  "options": {"min_support": 0.05, "k": 50}
+//	}'
+//	curl -s localhost:8080/datasets/census/monitor
+//
 // Running with -data-dir additionally makes the server restart-safe:
 // job records, results and the dataset catalog persist under
 // <data-dir>/state, and a restart re-serves completed results and
@@ -77,6 +85,7 @@ func main() {
 		dataDir  = flag.String("data-dir", "", "directory for {\"path\": ...} dataset specs and the durable job/catalog store (empty = stateless, in-memory)")
 		maxPar   = flag.Int("max-parallelism", 0, "cap on each job's mining parallelism; 0 = GOMAXPROCS/workers, negative = uncapped")
 		maxUp    = flag.Int64("max-upload", 0, "max PUT /datasets/{name} body bytes; 0 = 32 MiB default, negative disables uploads")
+		maxApp   = flag.Int64("max-append", 0, "max POST /datasets/{name}/rows body bytes; 0 = the -max-upload cap, negative disables appends")
 		authCfg  = flag.String("auth-config", "", "tenant config file enabling API keys + quotas (see docs/operations.md; empty = open access)")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful-shutdown budget for in-flight jobs before they are checkpointed")
 
@@ -96,6 +105,7 @@ func main() {
 		DataDir:        *dataDir,
 		MaxParallelism: *maxPar,
 		MaxUploadBytes: *maxUp,
+		MaxAppendBytes: *maxApp,
 		ShardsPerPeer:  *shardsPerPeer,
 		ShardTimeout:   *shardTimeout,
 		ShardRetries:   *shardRetries,

@@ -15,9 +15,12 @@ func (algorithm) Name() string { return Name }
 
 // Mine implements engine.Algorithm: a full two-phase Pattern-Fusion run
 // starting from DefaultConfig, overridden by the engine options (K, Tau,
-// InitPoolMaxSize, Seed, Parallelism and the support threshold).
+// InitPoolMaxSize, Seed, Parallelism and the support threshold). A
+// non-nil opts.Pool skips phase 1 and warm-starts fusion from the given
+// pool itemsets via Reseed + MineFromPool; opts.KeepPool returns the
+// run's pool in Report.Pool for the next warm start.
 func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Options) (*engine.Report, error) {
-	uses := engine.Uses{K: true, Tau: true, InitPoolMaxSize: true, Seed: true}
+	uses := engine.Uses{K: true, Tau: true, InitPoolMaxSize: true, Seed: true, Pool: true, KeepPool: true}
 	return engine.Run(Name, opts, uses, func() (*engine.Report, error) {
 		k := opts.K
 		if k == 0 {
@@ -39,7 +42,21 @@ func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Optio
 		}
 		cfg.Parallelism = opts.Parallelism
 		cfg.Observer = opts.Observer
-		res, err := Mine(ctx, d, cfg)
+		cfg.KeepPool = opts.KeepPool
+		var res *Result
+		var err error
+		if opts.Pool != nil {
+			if err = cfg.validate(); err != nil {
+				return nil, err
+			}
+			pool := Reseed(d, opts.Pool, cfg.ResolveMinCount(d))
+			cfg.Observer.Emit(engine.Event{
+				Algorithm: Name, Phase: engine.PhaseInitPool, PoolSize: len(pool),
+			})
+			res, err = MineFromPool(ctx, d, pool, cfg)
+		} else {
+			res, err = Mine(ctx, d, cfg)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -48,6 +65,7 @@ func (algorithm) Mine(ctx context.Context, d *dataset.Dataset, opts engine.Optio
 			InitPoolSize: res.InitPoolSize,
 			Iterations:   res.Iterations,
 			Stopped:      res.Stopped,
+			Pool:         res.Pool,
 		}, nil
 	})
 }

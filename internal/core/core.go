@@ -116,6 +116,12 @@ type Config struct {
 	// starve small patterns — elitism shields the large ones from the same
 	// effect). Zero disables it.
 	Elitism int
+	// KeepPool records the run's initial pool itemsets in Result.Pool —
+	// Mine's phase-1 apriori output, or the caller-supplied pool of
+	// MineFromPool — so an incremental re-mine can warm-start from them
+	// via Reseed instead of re-running phase 1. Off by default: the pool
+	// can dwarf the result.
+	KeepPool bool
 	// Parallelism is the number of worker goroutines fusing seed balls
 	// within one iteration (and mining the phase-1 pool). The K seeds of
 	// an iteration are independent, so they are dealt to the shared
@@ -238,6 +244,45 @@ type Result struct {
 	Iterations int
 	// Stopped is true if the run was canceled before convergence.
 	Stopped bool
+	// Pool is the initial pool's itemsets in pool order, recorded only
+	// when Config.KeepPool is set — the warm-start seed for Reseed.
+	Pool [][]int
+}
+
+// Reseed materializes warm-start pool patterns against d from bare
+// itemsets (a previous Result.Pool): each itemset is canonicalized and
+// gets its TID set and support recomputed on the current — typically
+// appended-to — dataset. Entries containing an item outside d's universe
+// or supported by fewer than minCount transactions are dropped in place;
+// order is otherwise preserved, which matters because fusion's seed
+// sampling is a function of pool length and order. Feeding the result to
+// MineFromPool with the same options on the unchanged dataset reproduces
+// the cold run's Report byte-for-byte; after appends it is the
+// incremental approximation (absolute supports only grow under appends,
+// so a fixed MinCount never drops a previously frequent seed).
+func Reseed(d *dataset.Dataset, pool [][]int, minCount int) []*dataset.Pattern {
+	out := make([]*dataset.Pattern, 0, len(pool))
+	for _, raw := range pool {
+		alpha := itemset.Canonical(raw)
+		if len(alpha) > 0 && (alpha[0] < 0 || alpha[len(alpha)-1] >= d.NumItems()) {
+			continue
+		}
+		p := dataset.NewPattern(d, alpha)
+		if p.Support() < minCount {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// ResolveMinCount resolves cfg's support threshold against d exactly as
+// Mine does: MinCount if set, otherwise d.MinCount(MinSupport).
+func (c Config) ResolveMinCount(d *dataset.Dataset) int {
+	if c.MinCount > 0 {
+		return c.MinCount
+	}
+	return d.MinCount(c.MinSupport)
 }
 
 // Radius returns r(τ) = 1 − 1/(2/τ − 1), the ball radius of Theorem 2: all
@@ -298,6 +343,12 @@ func MineFromPool(ctx context.Context, d *dataset.Dataset, pool []*dataset.Patte
 		minCount = d.MinCount(cfg.MinSupport)
 	}
 	res := &Result{InitPoolSize: len(pool)}
+	if cfg.KeepPool {
+		res.Pool = make([][]int, len(pool))
+		for i, p := range pool {
+			res.Pool[i] = p.Items
+		}
+	}
 
 	cur := append([]*dataset.Pattern(nil), pool...)
 	// Memoize support counts up front: the ball search and the core-ratio

@@ -33,6 +33,8 @@ type Algorithm interface {
 //	MinSize                closed, closedrows, topk: minimum pattern size
 //	MaxSize                apriori, eclat, fpgrowth: maximum pattern size
 //	Seed                   fusion:     RNG seed (default 1)
+//	Pool                   fusion:     warm-start pool itemsets (skips phase 1)
+//	KeepPool               fusion:     return the pool in Report.Pool
 //	Parallelism            all:        worker goroutines (0 = all CPUs)
 //	Observer               all:        progress-event callback
 //
@@ -63,6 +65,21 @@ type Options struct {
 	// Seed seeds fusion's deterministic RNG; zero selects 1 so that the
 	// zero Options value is still a valid, reproducible configuration.
 	Seed uint64
+	// Pool, when non-nil, warm-starts fusion from these phase-1 pool
+	// itemsets instead of mining the initial pool: each itemset is
+	// re-materialized against the current dataset (supports recomputed),
+	// entries below the support threshold or outside the item universe
+	// are dropped in place, and fusion proceeds via MineFromPool. With an
+	// unchanged dataset and options the warm report is byte-identical
+	// (ReportHash) to a cold run whose phase-1 pool it was; after appends
+	// it is the incremental approximation the pool-containment
+	// conformance test pins. An empty non-nil pool is a valid warm start
+	// that yields no patterns.
+	Pool [][]int
+	// KeepPool asks fusion to return its phase-1 pool itemsets (cold
+	// runs: the mined initial pool; warm runs: the re-seeded pool) in
+	// Report.Pool, in pool order, for a later incremental warm start.
+	KeepPool bool
 	// Parallelism is the worker-goroutine count every algorithm mines
 	// with; zero means all CPUs and negative values are rejected by Run.
 	// Reports are bit-identical for every value: each miner decomposes
@@ -118,6 +135,13 @@ type Report struct {
 	// pure function of (algorithm, Options), preserving Report
 	// determinism.
 	Warnings []string
+	// Pool is the run's phase-1 pool itemsets in pool order, present only
+	// when Options.KeepPool was set on a fusion run. It is the warm-start
+	// seed for Options.Pool. Like TID sets it is an acceleration artifact,
+	// not part of the observable answer: WireReport omits it, so
+	// EncodeReport/ReportHash are unaffected, and the durable job store
+	// does not persist it (a restarted server re-mines cold).
+	Pool [][]int `json:"-"`
 }
 
 // Uses declares which of the algorithm-specific Options fields an
@@ -131,6 +155,8 @@ type Uses struct {
 	MinSize         bool
 	MaxSize         bool
 	Seed            bool
+	Pool            bool
+	KeepPool        bool
 }
 
 // ignoredWarnings renders one warning per non-zero Options field that u
@@ -148,6 +174,8 @@ func (o Options) ignoredWarnings(name string, u Uses) []string {
 	check("MinSize", o.MinSize != 0, u.MinSize)
 	check("MaxSize", o.MaxSize != 0, u.MaxSize)
 	check("Seed", o.Seed != 0, u.Seed)
+	check("Pool", o.Pool != nil, u.Pool)
+	check("KeepPool", o.KeepPool, u.KeepPool)
 	return out
 }
 

@@ -48,3 +48,39 @@ func FuzzReadCSV(f *testing.F) {
 		fuzzRoundTrip(t, data, func() Format { return NewCSV() })
 	})
 }
+
+// FuzzAppendChunk asserts the Appender contract on arbitrary base+chunk
+// bytes: an accepted append is indistinguishable from re-ingesting the
+// concatenated bytes, and a rejected append leaves the appender exactly
+// at the base state (atomicity — including CSV symbol-table rollback).
+func FuzzAppendChunk(f *testing.F) {
+	f.Add([]byte("0 1\n2\n"), []byte("1 2\n"), uint8(0))
+	f.Add([]byte("a,b\n"), []byte("b,c\nd\n"), uint8(1))
+	f.Add([]byte("011\n"), []byte("101\n"), uint8(2))
+	f.Add([]byte("0 1"), []byte("2\n"), uint8(0))      // mid-line base
+	f.Add([]byte("0\n"), []byte("\x1f\x8b"), uint8(0)) // gzip-magic chunk
+	f.Add([]byte(""), []byte("5 6\n"), uint8(0))
+	f.Fuzz(func(t *testing.T, base, chunk []byte, sel uint8) {
+		mk := []func() Format{FIMI, func() Format { return NewCSV() }, Matrix}[sel%3]
+		opts := func() Options { return Options{Format: mk(), MaxItem: 1 << 16} }
+		app, err := NewAppender(BytesSource("fuzz-append", base), opts())
+		if err != nil {
+			return
+		}
+		snap, err := app.Append(chunk)
+		if err != nil {
+			want, werr := FromBytes("fuzz-append", base, opts())
+			if werr != nil {
+				t.Fatalf("base re-ingest failed after rejected append: %v", werr)
+			}
+			requireIdentical(t, app.Result(), want)
+			return
+		}
+		all := append(append([]byte(nil), base...), chunk...)
+		want, err := FromBytes("fuzz-append", all, opts())
+		if err != nil {
+			t.Fatalf("append accepted a chunk the re-ingest rejects: %v\nbase %q chunk %q", err, base, chunk)
+		}
+		requireIdentical(t, snap, want)
+	})
+}

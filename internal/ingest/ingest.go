@@ -116,6 +116,23 @@ func FromBytes(name string, data []byte, opts Options) (*Result, error) {
 // the canonical transactions and per-item column bitsets directly into
 // the final Dataset — the raw [][]int intermediate is never built.
 func Ingest(src Source, opts Options) (*Result, error) {
+	res, _, err := ingestState(src, opts)
+	return res, err
+}
+
+// appendState is the pass-1 residue an Appender carries forward: the
+// resolved (possibly stateful) Format value, the live sha256 hasher over
+// the raw bytes, the per-source-item frequencies, and whether the
+// decompressed stream ended mid-line (no trailing newline).
+type appendState struct {
+	format  Format
+	hasher  hash.Hash
+	freq    []int
+	midLine bool
+}
+
+// ingestState is Ingest plus the captured appendState.
+func ingestState(src Source, opts Options) (*Result, *appendState, error) {
 	if opts.MaxItem == 0 {
 		opts.MaxItem = DefaultMaxItem
 	}
@@ -126,6 +143,7 @@ func Ingest(src Source, opts Options) (*Result, error) {
 	var freq []int
 	scratch := make([]int, 0, 64)
 	hasher := sha256.New()
+	tail := &tailReader{}
 	err := pass(src, hasher, func(rdr *bufio.Reader, gzipped bool) error {
 		res.Gzipped = gzipped
 		if format == nil {
@@ -135,7 +153,8 @@ func Ingest(src Source, opts Options) (*Result, error) {
 			}
 			format = SniffFormat(src.Name(), head)
 		}
-		dec := format.NewDecoder(rdr)
+		tail.r = rdr
+		dec := format.NewDecoder(tail)
 		for {
 			items, err := dec.Next()
 			if err == io.EOF {
@@ -172,7 +191,7 @@ func Ingest(src Source, opts Options) (*Result, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ingest: %s: %w", src.Name(), err)
+		return nil, nil, fmt.Errorf("ingest: %s: %w", src.Name(), err)
 	}
 	// pass drained the raw stream, so the hash covers the whole source.
 	res.SHA256 = hex.EncodeToString(hasher.Sum(nil))
@@ -233,14 +252,35 @@ func Ingest(src Source, opts Options) (*Result, error) {
 		return nil
 	})
 	if err != nil {
-		return nil, fmt.Errorf("ingest: %s: %w", src.Name(), err)
+		return nil, nil, fmt.Errorf("ingest: %s: %w", src.Name(), err)
 	}
 	if len(txns) != res.RowsKept {
-		return nil, fmt.Errorf("ingest: %s: source changed between passes (%d rows, then %d)", src.Name(), res.RowsKept, len(txns))
+		return nil, nil, fmt.Errorf("ingest: %s: source changed between passes (%d rows, then %d)", src.Name(), res.RowsKept, len(txns))
 	}
 	res.Dataset = dataset.FromParts(txns, builder.Sets())
-	return res, nil
+	return res, &appendState{format: format, hasher: hasher, freq: freq, midLine: tail.midLine()}, nil
 }
+
+// tailReader passes reads through while remembering the last byte seen,
+// so the appender can tell whether the decompressed stream ended with a
+// newline (appending after an unterminated final line would merge rows).
+type tailReader struct {
+	r    io.Reader
+	last byte
+	seen bool
+}
+
+func (t *tailReader) Read(p []byte) (int, error) {
+	n, err := t.r.Read(p)
+	if n > 0 {
+		t.last = p[n-1]
+		t.seen = true
+	}
+	return n, err
+}
+
+// midLine reports whether any bytes were seen and the last was not '\n'.
+func (t *tailReader) midLine() bool { return t.seen && t.last != '\n' }
 
 // pass opens src once, arranges hashing (of the raw bytes) and
 // transparent gunzip, and hands the decompressed stream to fn. When

@@ -142,6 +142,7 @@ func ExactRecall(p, q []itemset.Itemset) RecallReport {
 	return rep
 }
 
+// String renders the recall as "found/total".
 func (r RecallReport) String() string {
 	return fmt.Sprintf("%d/%d", r.Found, r.Total)
 }

@@ -1,0 +1,84 @@
+package seq
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+)
+
+// replaceSequences views the Replace fixture's transactions as
+// sequences: each row is already in ascending item order, so a planted
+// colossal itemset reads as a planted colossal subsequence of every row
+// that contains it. This is the fixture the future sequence miner will
+// be evaluated on; the goldens below pin today's fold behavior so that
+// PR starts from known-good output.
+func replaceSequences(t *testing.T) (*Dataset, []Sequence) {
+	t.Helper()
+	d, planted := datagen.Replace(1)
+	seqs := make([]Sequence, d.Size())
+	for i, txn := range d.Transactions() {
+		s := make(Sequence, len(txn))
+		for j, it := range txn {
+			s[j] = int(it)
+		}
+		seqs[i] = s
+	}
+	ps := make([]Sequence, len(planted))
+	for i, p := range planted {
+		s := make(Sequence, len(p))
+		for j, it := range p {
+			s[j] = int(it)
+		}
+		ps[i] = s
+	}
+	return MustNewDataset(seqs), ps
+}
+
+// seqDigest canonically hashes a sequence for golden comparison.
+func seqDigest(s Sequence) string {
+	return fmt.Sprintf("%x", sha256.Sum256([]byte(fmt.Sprint([]int(s)))))
+}
+
+// TestFoldClosureReplaceGolden golden-pins the LCS-fold closure on the
+// Replace fixture: folding over each planted pattern's own support set
+// must reproduce a closure that (a) contains the full planted
+// subsequence — the fold heuristic is exact in the planted-colossal
+// regime — and (b) hashes to the pinned bytes, so any change to the
+// fold order, tie-breaking, or LCS kernel is caught before the
+// sequence-miner PR builds on it.
+func TestFoldClosureReplaceGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("Replace fixture generation is slow")
+	}
+	d, planted := replaceSequences(t)
+	golden := []struct {
+		support int
+		length  int
+		digest  string
+	}{
+		{support: 147, length: 44, digest: "e2b4b1cab448c1343187d1037ab820f9951f1f9b5b0f78c44f26ef9fd77e2372"},
+		{support: 138, length: 44, digest: "e797fb60a4313e9864c8ad22dc089475b53836268fdaf382948dad363df50237"},
+		{support: 145, length: 44, digest: "811837079e26a7affabd4678354a613305f49b05d9806319ca4e2acc70fd1511"},
+	}
+	for i, p := range planted {
+		tids := d.TIDSet(p)
+		if tids.Count() == 0 {
+			t.Fatalf("planted pattern %d has no support", i)
+		}
+		closure := d.FoldClosure(tids)
+		if !p.IsSubsequenceOf(closure) {
+			t.Fatalf("planted pattern %d not contained in its support's closure %v", i, closure)
+		}
+		if got := tids.Count(); got != golden[i].support {
+			t.Errorf("planted pattern %d: support = %d, want %d", i, got, golden[i].support)
+		}
+		if got := len(closure); got != golden[i].length {
+			t.Errorf("planted pattern %d: closure length = %d, want %d", i, got, golden[i].length)
+		}
+		if got := seqDigest(closure); got != golden[i].digest {
+			t.Errorf("planted pattern %d: closure digest = %s, want %s", i, got, golden[i].digest)
+		}
+	}
+}

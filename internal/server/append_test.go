@@ -1,0 +1,529 @@
+package server
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// appendResponse is the POST /datasets/{name}/rows payload.
+type appendResponse struct {
+	Dataset    DatasetEntry `json:"dataset"`
+	RowsAdded  int          `json:"rows_added"`
+	MonitorJob string       `json:"monitor_job"`
+	Error      string       `json:"error"`
+}
+
+func postRows(t *testing.T, srv *httptest.Server, name string, body []byte) (*http.Response, appendResponse) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/datasets/"+name+"/rows", "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out appendResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatalf("decoding %s response: %v", url, err)
+	}
+	return resp.StatusCode, out
+}
+
+func gzipBytes(t *testing.T, data []byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	if _, err := gz.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestAppendHTTP is the streaming-append happy path over HTTP: the grown
+// entry is byte-equivalent (same lineage SHA256, rows, stats) to
+// uploading the concatenated file in one shot, and jobs mine the grown
+// dataset by catalog name.
+func TestAppendHTTP(t *testing.T) {
+	t.Parallel()
+	_, srv := newCatalogServer(t, Config{Workers: 1})
+
+	base := []byte("1 2 3\n2 3\n")
+	chunk := []byte("1 2 3\n3 4\n")
+	if resp, _ := putDataset(t, srv, "stream", "", base); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	resp, out := postRows(t, srv, "stream", chunk)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("append: status %d: %s", resp.StatusCode, out.Error)
+	}
+	if out.RowsAdded != 2 || out.Dataset.Rows != 4 || out.Dataset.Appends != 1 {
+		t.Fatalf("append: rows_added=%d rows=%d appends=%d", out.RowsAdded, out.Dataset.Rows, out.Dataset.Appends)
+	}
+
+	// The lineage hash is the append-equivalence contract: uploading
+	// base+chunk as one file yields the identical SHA256.
+	if resp, whole := putDataset(t, srv, "whole", "", append(append([]byte(nil), base...), chunk...)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("concat upload: status %d", resp.StatusCode)
+	} else if whole.SHA256 != out.Dataset.SHA256 {
+		t.Fatalf("append SHA %s != concat SHA %s", out.Dataset.SHA256, whole.SHA256)
+	}
+
+	// Jobs see the grown dataset: item 3 now supports 4 rows.
+	result := runJob(t, srv, `{"algorithm": "fusion", "dataset": {"catalog": "stream"}, "options": {"min_count": 2, "k": 10}}`)
+	best := result["patterns"].([]any)[0].(map[string]any)
+	if best["support"].(float64) < 2 {
+		t.Fatalf("mining appended dataset: weak top pattern %v", best)
+	}
+
+	// Empty chunk: accepted no-op.
+	if resp, out := postRows(t, srv, "stream", nil); resp.StatusCode != http.StatusOK || out.RowsAdded != 0 {
+		t.Fatalf("empty append: status %d rows_added %d", resp.StatusCode, out.RowsAdded)
+	}
+
+	// Unknown dataset.
+	if resp, _ := postRows(t, srv, "nope", chunk); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown dataset append: status %d", resp.StatusCode)
+	}
+}
+
+// TestAppendHTTPGzip appends a gzip chunk to a gzip-uploaded dataset:
+// the stored lineage is the multistream gzip concatenation.
+func TestAppendHTTPGzip(t *testing.T) {
+	t.Parallel()
+	_, srv := newCatalogServer(t, Config{Workers: 1})
+
+	base := gzipBytes(t, []byte("1 2\n2 3\n"))
+	chunk := gzipBytes(t, []byte("1 2 3\n"))
+	if resp, _ := putDataset(t, srv, "gz", "", base); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	resp, out := postRows(t, srv, "gz", chunk)
+	if resp.StatusCode != http.StatusOK || out.Dataset.Rows != 3 || !out.Dataset.Gzipped {
+		t.Fatalf("gzip append: status %d rows %d gzipped %v", resp.StatusCode, out.Dataset.Rows, out.Dataset.Gzipped)
+	}
+	if resp, whole := putDataset(t, srv, "gzwhole", "", append(append([]byte(nil), base...), chunk...)); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("concat upload: status %d", resp.StatusCode)
+	} else if whole.SHA256 != out.Dataset.SHA256 {
+		t.Fatalf("append SHA %s != concat SHA %s", out.Dataset.SHA256, whole.SHA256)
+	}
+
+	// A plain-text chunk on a gzip base must be rejected atomically.
+	before := out.Dataset
+	if resp, _ := postRows(t, srv, "gz", []byte("4 5\n")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("mismatched compression append: status %d", resp.StatusCode)
+	}
+	code, got := getJSON(t, srv.URL+"/datasets/gz")
+	if code != http.StatusOK || got["sha256"] != before.SHA256 || int(got["rows"].(float64)) != before.Rows {
+		t.Fatalf("rejected append mutated entry: %v", got)
+	}
+}
+
+// TestAppendCapsAndBadChunk covers the admission edges: appends
+// disabled, chunk over the byte cap, and a chunk that fails to decode —
+// each leaves the entry untouched.
+func TestAppendCapsAndBadChunk(t *testing.T) {
+	t.Parallel()
+	_, srv := newCatalogServer(t, Config{Workers: 1, MaxAppendBytes: 16})
+	if resp, _ := putDataset(t, srv, "m", "?format=matrix", []byte("101\n011\n")); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	if resp, _ := postRows(t, srv, "m", []byte(strings.Repeat("110\n", 64))); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized append: status %d", resp.StatusCode)
+	}
+	// A non-binary matrix cell fails to decode; the entry stays at 2 rows.
+	if resp, _ := postRows(t, srv, "m", []byte("12\n")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad chunk: status %d", resp.StatusCode)
+	}
+	if code, got := getJSON(t, srv.URL+"/datasets/m"); code != http.StatusOK || int(got["rows"].(float64)) != 2 {
+		t.Fatalf("bad chunk mutated entry: %v", got)
+	}
+
+	_, disabled := newCatalogServer(t, Config{Workers: 1, MaxAppendBytes: -1})
+	if resp, _ := putDataset(t, disabled, "d", "", []byte("1 2\n")); resp.StatusCode != http.StatusCreated {
+		t.Fatal("upload failed")
+	}
+	if resp, _ := postRows(t, disabled, "d", []byte("1 2\n")); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("disabled append: status %d", resp.StatusCode)
+	}
+}
+
+// TestAppendCellCapAtomic grows a dataset past the catalog cell cap: the
+// append is rejected *after* the decode commits, exercising the
+// Appender.Undo rollback — the entry and a subsequent append behave as
+// if the rejected chunk never arrived.
+func TestAppendCellCapAtomic(t *testing.T) {
+	t.Parallel()
+	// The cap charges 64 cells per universe item: the 4-item base costs
+	// ~264 cells, growing the universe to 10 items costs ~670.
+	_, srv := newCatalogServer(t, Config{Workers: 1, MaxCells: 300})
+	base := []byte("1 2 3\n2 3\n")
+	if resp, _ := putDataset(t, srv, "cap", "", base); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	// Items 7-9 blow the universe past the cap: rejected post-commit.
+	if resp, out := postRows(t, srv, "cap", []byte("7 8 9\n")); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("over-cap append: status %d %+v", resp.StatusCode, out)
+	}
+	// The rollback restored the exact lineage: a legal append now matches
+	// the concatenation without the rejected chunk.
+	resp, out := postRows(t, srv, "cap", []byte("1 2\n2 3\n"))
+	if resp.StatusCode != http.StatusOK || out.Dataset.Rows != 4 {
+		t.Fatalf("append after rollback: status %d rows %d", resp.StatusCode, out.Dataset.Rows)
+	}
+	if resp, whole := putDataset(t, srv, "capwhole", "", []byte("1 2 3\n2 3\n1 2\n2 3\n")); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("concat upload: status %d", resp.StatusCode)
+	} else if whole.SHA256 != out.Dataset.SHA256 {
+		t.Fatalf("post-rollback SHA %s != concat SHA %s", out.Dataset.SHA256, whole.SHA256)
+	}
+}
+
+// TestAppendTenantIsolation: appends are mutations — only the owning
+// tenant may grow a dataset, and growth counts against its byte quota.
+func TestAppendTenantIsolation(t *testing.T) {
+	t.Parallel()
+	auth, err := NewAuth([]*Tenant{
+		{Name: "alice", Key: "ka", MaxCatalogBytes: 24},
+		{Name: "bob", Key: "kb"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := newCatalogServer(t, Config{Workers: 1, Auth: auth})
+
+	do := func(method, path, key string, body []byte) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(method, srv.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("X-API-Key", key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := do(http.MethodPut, "/datasets/a", "ka", []byte("1 2 3\n2 3\n")); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("upload: status %d", resp.StatusCode)
+	}
+	if resp := do(http.MethodPost, "/datasets/a/rows", "kb", []byte("1 2\n")); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("foreign append: status %d", resp.StatusCode)
+	}
+	if resp := do(http.MethodPost, "/datasets/a/rows", "ka", []byte("1 2\n")); resp.StatusCode != http.StatusOK {
+		t.Fatalf("owner append: status %d", resp.StatusCode)
+	}
+	// 10 base + 4 appended = 14 bytes in use; 11 more break the 24-byte quota.
+	if resp := do(http.MethodPost, "/datasets/a/rows", "ka", []byte("1 2 3 4 5 6\n")); resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota append: status %d", resp.StatusCode)
+	}
+	// Monitors are mutations too.
+	if resp := do(http.MethodPut, "/datasets/a/monitor", "kb", []byte("{}")); resp.StatusCode != http.StatusForbidden {
+		t.Fatalf("foreign monitor install: status %d", resp.StatusCode)
+	}
+}
+
+// TestMonitorLifecycle drives the full streaming loop: install a
+// monitor, append below then past the row threshold, watch the job fire
+// and complete, and see the next run report the genuinely new pattern
+// while warm-starting from the previous run's pool.
+func TestMonitorLifecycle(t *testing.T) {
+	t.Parallel()
+	_, srv := newCatalogServer(t, Config{Workers: 1})
+	if resp, _ := putDataset(t, srv, "live", "", []byte("1 2 3\n1 2 3\n1 2 3\n")); resp.StatusCode != http.StatusCreated {
+		t.Fatal("upload failed")
+	}
+
+	// No monitor yet.
+	if code, _ := getJSON(t, srv.URL+"/datasets/live/monitor"); code != http.StatusNotFound {
+		t.Fatalf("monitor before install: status %d", code)
+	}
+	// Invalid specs.
+	for _, bad := range []string{
+		`{"algorithm": "nope"}`,
+		`{"algorithm": "charm", "incremental": true}`,
+		`{"threshold_rows": -1}`,
+	} {
+		resp, err := http.NewRequest(http.MethodPut, srv.URL+"/datasets/live/monitor", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := http.DefaultClient.Do(resp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusBadRequest {
+			t.Fatalf("invalid spec %s: status %d", bad, r.StatusCode)
+		}
+	}
+
+	install := `{"threshold_rows": 2, "options": {"min_count": 2, "k": 10, "seed": 1}}`
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/datasets/live/monitor", strings.NewReader(install))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st MonitorStatus
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || st.RowsAtLastRun != 3 {
+		t.Fatalf("install: status %d baseline %d", r.StatusCode, st.RowsAtLastRun)
+	}
+
+	// One row: below threshold, no job.
+	if _, out := postRows(t, srv, "live", []byte("1 2 3\n")); out.MonitorJob != "" {
+		t.Fatalf("premature trigger: %s", out.MonitorJob)
+	}
+	if code, got := getJSON(t, srv.URL+"/datasets/live/monitor"); code != http.StatusOK || int(got["pending_rows"].(float64)) != 1 {
+		t.Fatalf("pending after first append: %v", got)
+	}
+	// Second row crosses the threshold.
+	_, out := postRows(t, srv, "live", []byte("1 2 3\n"))
+	if out.MonitorJob == "" {
+		t.Fatal("threshold crossed but no monitor job fired")
+	}
+	waitMonitorRuns(t, srv, "live", 1)
+
+	code, got := getJSON(t, srv.URL+"/datasets/live/monitor")
+	if code != http.StatusOK {
+		t.Fatalf("monitor status: %d", code)
+	}
+	if got["new_patterns"] != nil {
+		t.Fatalf("baseline run reported new patterns: %v", got["new_patterns"])
+	}
+
+	// Two rows of a brand-new itemset: the next (cold) run must surface
+	// {4 5 6} as new.
+	_, out = postRows(t, srv, "live", []byte("4 5 6\n4 5 6\n"))
+	if out.MonitorJob == "" {
+		t.Fatal("second trigger did not fire")
+	}
+	waitMonitorRuns(t, srv, "live", 2)
+	_, got = getJSON(t, srv.URL+"/datasets/live/monitor")
+	fresh, _ := got["new_patterns"].([]any)
+	found := false
+	for _, p := range fresh {
+		items := p.(map[string]any)["items"].([]any)
+		if len(items) == 3 && items[0].(float64) == 4 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("new pattern {4 5 6} not reported: %v", got["new_patterns"])
+	}
+
+	// Delete the dataset: the monitor goes with it.
+	req, _ = http.NewRequest(http.MethodDelete, srv.URL+"/datasets/live", nil)
+	if r, err := http.DefaultClient.Do(req); err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("delete dataset: %v %d", err, r.StatusCode)
+	} else {
+		r.Body.Close()
+	}
+	if code, _ := getJSON(t, srv.URL+"/datasets/live/monitor"); code != http.StatusNotFound {
+		t.Fatalf("monitor survived dataset deletion: status %d", code)
+	}
+}
+
+// TestMonitorIncremental pins the warm-start policy and its documented
+// approximation: after the first (cold) run, each triggered fusion run
+// re-seeds from the previous run's converged patterns — so known
+// patterns are re-validated against the grown dataset cheaply, while a
+// pattern over items absent from every seed stays invisible until a
+// cold re-mine (reinstalling the monitor).
+func TestMonitorIncremental(t *testing.T) {
+	t.Parallel()
+	_, srv := newCatalogServer(t, Config{Workers: 1})
+	if resp, _ := putDataset(t, srv, "inc", "", []byte("1 2 3\n1 2 3\n1 2 3\n")); resp.StatusCode != http.StatusCreated {
+		t.Fatal("upload failed")
+	}
+	install := `{"threshold_rows": 1, "incremental": true, "options": {"min_count": 2, "k": 10, "seed": 1}}`
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/datasets/inc/monitor", strings.NewReader(install))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := http.DefaultClient.Do(req); err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("install: %v", err)
+	} else {
+		r.Body.Close()
+	}
+
+	// First trigger: cold (no previous pool).
+	if _, out := postRows(t, srv, "inc", []byte("1 2 3\n")); out.MonitorJob == "" {
+		t.Fatal("first trigger did not fire")
+	}
+	waitMonitorRuns(t, srv, "inc", 1)
+	if _, got := getJSON(t, srv.URL+"/datasets/inc/monitor"); int(got["warm_seeds"].(float64)) == 0 {
+		t.Fatal("incremental monitor kept no warm seeds after first run")
+	}
+
+	// Second trigger: warm. The appended {4 5 6} rows are outside every
+	// seed's item universe, so the warm run re-validates the known
+	// pattern but — by design — cannot discover {4 5 6}.
+	_, out := postRows(t, srv, "inc", []byte("4 5 6\n4 5 6\n4 5 6\n"))
+	if out.MonitorJob == "" {
+		t.Fatal("second trigger did not fire")
+	}
+	waitMonitorRuns(t, srv, "inc", 2)
+	code, result := getJSON(t, srv.URL+"/jobs/"+out.MonitorJob+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("warm result: %d %v", code, result)
+	}
+	patterns, _ := result["patterns"].([]any)
+	if len(patterns) == 0 {
+		t.Fatal("warm run lost the known pattern")
+	}
+	for _, p := range patterns {
+		for _, it := range p.(map[string]any)["items"].([]any) {
+			if it.(float64) > 3 {
+				t.Fatalf("warm run discovered out-of-seed items (approximation contract changed): %v", patterns)
+			}
+		}
+	}
+}
+
+// TestMonitorWindow pins the sliding-window policy: the triggered job
+// mines only the most recent Window rows, so old support fades out.
+func TestMonitorWindow(t *testing.T) {
+	t.Parallel()
+	_, srv := newCatalogServer(t, Config{Workers: 1})
+	if resp, _ := putDataset(t, srv, "win", "", []byte("1 2\n1 2\n1 2\n1 2\n")); resp.StatusCode != http.StatusCreated {
+		t.Fatal("upload failed")
+	}
+	install := `{"threshold_rows": 1, "window": 3, "options": {"min_count": 2, "k": 10, "seed": 1}}`
+	req, err := http.NewRequest(http.MethodPut, srv.URL+"/datasets/win/monitor", strings.NewReader(install))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, err := http.DefaultClient.Do(req); err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("install: %v", err)
+	} else {
+		r.Body.Close()
+	}
+	// Appending 3 rows of {3 4} leaves only {3 4} rows inside the
+	// 3-row window; {1 2} has zero support there.
+	_, out := postRows(t, srv, "win", []byte("3 4\n3 4\n3 4\n"))
+	if out.MonitorJob == "" {
+		t.Fatal("no job fired")
+	}
+	waitMonitorRuns(t, srv, "win", 1)
+	code, result := getJSON(t, srv.URL+"/jobs/"+out.MonitorJob+"/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: %d %v", code, result)
+	}
+	for _, p := range result["patterns"].([]any) {
+		items := p.(map[string]any)["items"].([]any)
+		if items[0].(float64) == 1 {
+			t.Fatalf("windowed run still sees pre-window pattern: %v", result["patterns"])
+		}
+	}
+}
+
+// TestAppendPersistRecovery pins the durable-append contract: accepted
+// chunks survive a restart (the manifest records the chunk lineage and
+// the blobs replay through the same incremental path), a restarted
+// server keeps accepting appends on the same lineage, and a rejected
+// append leaves the durable state at the pre-append bytes.
+func TestAppendPersistRecovery(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	base := []byte("1 2 3\n2 3\n")
+	chunk1 := []byte("1 2 3\n")
+	chunk2 := []byte("2 3\n1 3\n")
+
+	st, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := NewManager(Config{Workers: 1, Store: st})
+	srv1 := httptest.NewServer(Handler(m1))
+	if resp, _ := putDataset(t, srv1, "dur", "", base); resp.StatusCode != http.StatusCreated {
+		t.Fatal("upload failed")
+	}
+	if resp, _ := postRows(t, srv1, "dur", chunk1); resp.StatusCode != http.StatusOK {
+		t.Fatal("append 1 failed")
+	}
+	resp, out := postRows(t, srv1, "dur", chunk2)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("append 2 failed")
+	}
+	want := out.Dataset
+	srv1.Close()
+	m1.Close()
+
+	// Restart over the same directory: the appended entry is rebuilt
+	// byte-identically and remains appendable.
+	st2, err := OpenStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2 := NewManager(Config{Workers: 1, Store: st2})
+	srv2 := httptest.NewServer(Handler(m2))
+	t.Cleanup(func() {
+		srv2.Close()
+		m2.Close()
+	})
+	got, ok := m2.Catalog().Get("dur")
+	if !ok {
+		t.Fatal("appended dataset lost across restart")
+	}
+	if got.SHA256 != want.SHA256 || got.Rows != want.Rows || got.Appends != 2 || got.Bytes != want.Bytes {
+		t.Fatalf("restored entry %+v != pre-restart %+v", got, want)
+	}
+	resp, out = postRows(t, srv2, "dur", []byte("1 2 3\n"))
+	if resp.StatusCode != http.StatusOK || out.Dataset.Appends != 3 {
+		t.Fatalf("append after restart: status %d appends %d", resp.StatusCode, out.Dataset.Appends)
+	}
+	all := bytes.Join([][]byte{base, chunk1, chunk2, []byte("1 2 3\n")}, nil)
+	if resp, whole := putDataset(t, srv2, "durwhole", "", all); resp.StatusCode != http.StatusCreated {
+		t.Fatal("concat upload failed")
+	} else if whole.SHA256 != out.Dataset.SHA256 {
+		t.Fatalf("restored lineage SHA %s != concat SHA %s", out.Dataset.SHA256, whole.SHA256)
+	}
+}
+
+// waitMonitorRuns polls the monitor until runs reaches n.
+func waitMonitorRuns(t *testing.T, srv *httptest.Server, name string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, got := getJSON(t, srv.URL+"/datasets/"+name+"/monitor")
+		if code == http.StatusOK && int(got["runs"].(float64)) >= n {
+			if errStr, _ := got["last_error"].(string); errStr != "" {
+				t.Fatalf("monitor error: %s", errStr)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("monitor never reached %d runs: %v", n, got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -81,6 +81,12 @@ type DatasetEntry struct {
 	// Cached reports whether the upload was served from the content-hash
 	// cache instead of being parsed.
 	Cached bool `json:"cached"`
+	// Appends counts the row chunks appended via POST
+	// /datasets/{name}/rows since the upload. SHA256 and Bytes cover the
+	// appended chunks too: SHA256 is the lineage hash of the
+	// concatenated bytes, identical to re-uploading one file holding
+	// base + every chunk (the ingest.Appender equivalence contract).
+	Appends int `json:"appends,omitempty"`
 	// Tenant is the uploading tenant's name ("" in open mode).
 	Tenant string `json:"tenant,omitempty"`
 	// Created is the upload time.
@@ -88,6 +94,11 @@ type DatasetEntry struct {
 
 	ds              *dataset.Dataset
 	requestedFormat string // the ?format= override, "" = sniffed (manifest needs it)
+	baseSHA         string // content hash of the original upload blob
+	baseBytes       int64  // raw size of the original upload
+	chunks          []AppendRecord
+	raw             []byte           // memory-only mode: base bytes kept for appendability
+	app             *ingest.Appender // live append state, built on first append
 }
 
 // NewCatalog returns an empty catalog whose datasets are bounded by
@@ -200,6 +211,14 @@ func (c *Catalog) put(name, format string, data []byte, owner string, quota int6
 		Created:         created,
 		ds:              parsed.ds,
 		requestedFormat: format,
+		baseSHA:         sum,
+		baseBytes:       int64(len(data)),
+	}
+	if c.store == nil {
+		// Without a blob store the raw bytes are the only way to build an
+		// append state later; keep them (memory-only mode is the dev/test
+		// configuration, where this is cheap).
+		entry.raw = data
 	}
 	c.entries[name] = entry
 	if persist && c.store != nil {
@@ -217,8 +236,8 @@ func (c *Catalog) put(name, format string, data []byte, owner string, quota int6
 			}
 			return nil, false, fmt.Errorf("server: persisting catalog manifest: %w", err)
 		}
-		if exists && old.SHA256 != sum && !c.blobReferencedLocked(old.SHA256) {
-			_ = c.store.DeleteBlob(old.SHA256)
+		if exists {
+			c.gcEntryBlobsLocked(old)
 		}
 	}
 	if c.metrics != nil {
@@ -250,14 +269,37 @@ func tenantLabel(owner string) string {
 }
 
 // blobReferencedLocked reports whether any entry still references the
-// content hash. Caller holds mu.
+// content hash — as its base upload or as an appended chunk. Caller
+// holds mu.
 func (c *Catalog) blobReferencedLocked(sha string) bool {
 	for _, e := range c.entries {
-		if e.SHA256 == sha {
+		if e.baseSHA == sha {
 			return true
+		}
+		for _, rec := range e.chunks {
+			if rec.SHA256 == sha {
+				return true
+			}
 		}
 	}
 	return false
+}
+
+// gcEntryBlobsLocked deletes a removed/replaced entry's blobs (base and
+// chunks) once no remaining entry references them. Caller holds mu and
+// has already removed or replaced the entry.
+func (c *Catalog) gcEntryBlobsLocked(old *DatasetEntry) {
+	if c.store == nil {
+		return
+	}
+	if !c.blobReferencedLocked(old.baseSHA) {
+		_ = c.store.DeleteBlob(old.baseSHA)
+	}
+	for _, rec := range old.chunks {
+		if !c.blobReferencedLocked(rec.SHA256) {
+			_ = c.store.DeleteBlob(rec.SHA256)
+		}
+	}
 }
 
 // persistManifestLocked rewrites the durable manifest from the current
@@ -269,9 +311,10 @@ func (c *Catalog) persistManifestLocked() error {
 			Name:            e.Name,
 			RequestedFormat: e.requestedFormat,
 			Tenant:          e.Tenant,
-			SHA256:          e.SHA256,
-			Bytes:           e.Bytes,
+			SHA256:          e.baseSHA,
+			Bytes:           e.baseBytes,
 			Created:         e.Created,
+			Appends:         e.chunks,
 		})
 	}
 	return c.store.SaveManifest(manifest)
@@ -297,9 +340,191 @@ func (c *Catalog) restore() (warns []string) {
 		}
 		if _, _, err := c.put(me.Name, me.RequestedFormat, data, me.Tenant, 0, me.Created, false); err != nil {
 			warns = append(warns, fmt.Sprintf("dataset %q: re-ingesting: %v", me.Name, err))
+			continue
+		}
+		// Replay appended chunks through the same path that accepted them;
+		// the Appender equivalence contract makes the rebuilt entry
+		// identical to the pre-crash one (lineage hash included).
+		for i, rec := range me.Appends {
+			chunk, err := c.store.LoadBlob(rec.SHA256)
+			if err != nil {
+				warns = append(warns, fmt.Sprintf("dataset %q: loading append chunk %d (%s): %v", me.Name, i, rec.SHA256, err))
+				break
+			}
+			if _, _, err := c.append(me.Name, chunk, me.Tenant, 0, false); err != nil {
+				warns = append(warns, fmt.Sprintf("dataset %q: replaying append chunk %d: %v", me.Name, i, err))
+				break
+			}
 		}
 	}
 	return warns
+}
+
+// Append decodes data as additional rows of the named dataset (same
+// format, same compression — the ingest.Appender contract) and commits
+// them incrementally: column TID-sets, frequencies and the sha256
+// lineage are extended without re-reading the base. The entry is
+// replaced by an updated snapshot whose dataset, SHA256 and stats are
+// byte-identical to re-uploading base+chunks as one file; jobs already
+// holding the old dataset keep mining the old snapshot (snapshots are
+// immutable). With quota > 0 the grown entry counts against owner's
+// catalog byte budget. With a Store the chunk is persisted and replayed
+// at startup. The append is atomic at every layer: on any error — bad
+// chunk, cell cap, durability failure — the entry is unchanged.
+//
+// It returns the updated entry and the number of rows added. The chunk
+// is decoded under the catalog lock, so appends serialize with uploads;
+// chunks are expected to be small relative to uploads.
+func (c *Catalog) Append(name string, data []byte, owner string, quota int64) (*DatasetEntry, int, error) {
+	return c.append(name, data, owner, quota, true)
+}
+
+func (c *Catalog) append(name string, data []byte, owner string, quota int64, persist bool) (*DatasetEntry, int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("server: unknown catalog dataset %q", name)
+	}
+	if len(data) == 0 {
+		return e, 0, nil
+	}
+	if quota > 0 {
+		used := int64(0)
+		for n, o := range c.entries {
+			if o.Tenant == owner && n != name {
+				used += o.Bytes
+			}
+		}
+		if used+e.Bytes+int64(len(data)) > quota {
+			if c.metrics != nil {
+				c.metrics.AuthRejections.Inc("catalog_quota")
+			}
+			return nil, 0, &QuotaError{
+				Msg: fmt.Sprintf("server: appending %d bytes exceeds tenant %q's catalog quota (%d of %d bytes in use)",
+					len(data), owner, used+e.Bytes, quota),
+				RetryAfter: 60,
+			}
+		}
+	}
+	if err := c.ensureAppenderLocked(e); err != nil {
+		return nil, 0, err
+	}
+	chunkSHA := fmt.Sprintf("%x", sha256.Sum256(data))
+	// Blob before commit: a durability failure here aborts with nothing
+	// changed anywhere.
+	if persist && c.store != nil {
+		if err := c.store.SaveBlob(chunkSHA, data); err != nil {
+			return nil, 0, fmt.Errorf("server: persisting append chunk: %w", err)
+		}
+	}
+	dropChunkBlob := func() {
+		if persist && c.store != nil && !c.blobReferencedLocked(chunkSHA) {
+			_ = c.store.DeleteBlob(chunkSHA)
+		}
+	}
+	snap, err := e.app.Append(data)
+	if err != nil {
+		dropChunkBlob()
+		return nil, 0, err
+	}
+	// Post-commit rejections revert through the Appender's one-level
+	// Undo, which restores rows, frequencies, column sets, symbol table
+	// and the lineage hash exactly.
+	if overCellCap(snap.Dataset.Size(), snap.Dataset.NumItems(), c.maxCells) {
+		rows, items := snap.Dataset.Size(), snap.Dataset.NumItems()
+		_ = e.app.Undo()
+		dropChunkBlob()
+		return nil, 0, fmt.Errorf("server: appended dataset of %d×%d exceeds the %d-cell cap", rows, items, c.maxCells)
+	}
+	rowsAdded := snap.Dataset.Size() - e.Rows
+	stats := snap.Dataset.ComputeStats()
+	entry := &DatasetEntry{
+		Name:            e.Name,
+		Format:          snap.Format,
+		Gzipped:         snap.Gzipped,
+		SHA256:          snap.SHA256,
+		Bytes:           e.Bytes + int64(len(data)),
+		Rows:            stats.Transactions,
+		Items:           stats.UniverseSize,
+		Density:         density(stats),
+		AvgTxnLen:       stats.AvgTxnLen,
+		Cached:          e.Cached,
+		Appends:         e.Appends + 1,
+		Tenant:          e.Tenant,
+		Created:         e.Created,
+		ds:              snap.Dataset,
+		requestedFormat: e.requestedFormat,
+		baseSHA:         e.baseSHA,
+		baseBytes:       e.baseBytes,
+		chunks:          append(append([]AppendRecord(nil), e.chunks...), AppendRecord{SHA256: chunkSHA, Bytes: int64(len(data))}),
+		app:             e.app,
+	}
+	c.entries[name] = entry
+	if persist && c.store != nil {
+		if err := c.persistManifestLocked(); err != nil {
+			c.entries[name] = e
+			_ = e.app.Undo()
+			dropChunkBlob()
+			return nil, 0, fmt.Errorf("server: persisting catalog manifest: %w", err)
+		}
+	}
+	// A future upload of the concatenated file is the same content; let
+	// it hit the parse cache.
+	c.cacheAdd(cacheKey(snap.SHA256, e.requestedFormat), &parsedDataset{ds: snap.Dataset, format: snap.Format, gzipped: snap.Gzipped})
+	if persist && c.metrics != nil {
+		c.metrics.IngestBytes.Add(float64(len(data)), tenantLabel(e.Tenant))
+		c.metrics.CatalogBytes.Add(float64(len(data)), tenantLabel(e.Tenant))
+		c.metrics.DatasetAppends.Inc(tenantLabel(e.Tenant))
+		c.metrics.AppendedRows.Add(float64(rowsAdded), tenantLabel(e.Tenant))
+	}
+	return entry, rowsAdded, nil
+}
+
+// ensureAppenderLocked builds the entry's live append state if it does
+// not exist yet: re-ingest the base bytes (from the retained raw copy in
+// memory-only mode, the blob store otherwise) and replay any persisted
+// chunks. Deterministic ingestion makes the rebuilt state identical to
+// the one that accepted the chunks. Caller holds mu.
+func (c *Catalog) ensureAppenderLocked(e *DatasetEntry) error {
+	if e.app != nil {
+		return nil
+	}
+	base := e.raw
+	if base == nil {
+		if c.store == nil {
+			return fmt.Errorf("server: dataset %q has no append state and no stored bytes to rebuild it", e.Name)
+		}
+		var err error
+		base, err = c.store.LoadBlob(e.baseSHA)
+		if err != nil {
+			return fmt.Errorf("server: loading base blob of %q: %w", e.Name, err)
+		}
+	}
+	var opts ingest.Options
+	if e.requestedFormat != "" {
+		f, err := ingest.FormatByName(e.requestedFormat)
+		if err != nil {
+			return err
+		}
+		opts.Format = f
+	}
+	app, err := ingest.NewAppender(ingest.BytesSource(e.Name, base), opts)
+	if err != nil {
+		return fmt.Errorf("server: rebuilding append state of %q: %w", e.Name, err)
+	}
+	for i, rec := range e.chunks {
+		chunk, err := c.store.LoadBlob(rec.SHA256)
+		if err != nil {
+			return fmt.Errorf("server: loading append chunk %d of %q: %w", i, e.Name, err)
+		}
+		if _, err := app.Append(chunk); err != nil {
+			return fmt.Errorf("server: replaying append chunk %d of %q: %w", i, e.Name, err)
+		}
+	}
+	e.app = app
+	e.raw = nil
+	return nil
 }
 
 // Get returns the named entry.
@@ -337,9 +562,7 @@ func (c *Catalog) Delete(name string) bool {
 			c.entries[name] = e // keep memory and disk agreeing
 			return false
 		}
-		if !c.blobReferencedLocked(e.SHA256) {
-			_ = c.store.DeleteBlob(e.SHA256)
-		}
+		c.gcEntryBlobsLocked(e)
 	}
 	if c.metrics != nil {
 		c.metrics.CatalogDatasets.Set(float64(len(c.entries)))

@@ -89,7 +89,23 @@ func mayMutate(m *Manager, r *http.Request, owner string) bool {
 //	GET    /datasets         catalog listing with per-dataset stats and
 //	                         the content-hash cache hit count
 //	GET    /datasets/{name}  one catalog entry
-//	DELETE /datasets/{name}  remove a catalog entry
+//	DELETE /datasets/{name}  remove a catalog entry (and its monitor)
+//	POST   /datasets/{name}/rows
+//	                         streaming append: body = additional rows in
+//	                         the dataset's own format and compression;
+//	                         the entry is extended incrementally and the
+//	                         response carries the updated entry, the
+//	                         rows added, and the monitor job fired (if
+//	                         any)
+//	PUT    /datasets/{name}/monitor
+//	                         install a MonitorSpec: re-mine the dataset
+//	                         as appends accumulate (threshold, sliding
+//	                         window, incremental warm start)
+//	GET    /datasets/{name}/monitor
+//	                         monitor status: pending rows, last job, and
+//	                         the latest run's new patterns
+//	DELETE /datasets/{name}/monitor
+//	                         remove the monitor
 //	GET    /metrics          Prometheus text exposition (see Metrics)
 //
 // Job specs reference uploads as {"dataset": {"catalog": "<name>"}};
@@ -101,7 +117,8 @@ func mayMutate(m *Manager, r *http.Request, owner string) bool {
 // beyond a tenant's active-job quota, uploads beyond its catalog byte
 // quota, and a full queue answer 429 with a Retry-After header; during
 // graceful shutdown submissions answer 503. Mutations (cancel/remove a
-// job, delete a dataset) are restricted to the owning tenant.
+// job, delete a dataset, append rows, manage a monitor) are restricted
+// to the owning tenant.
 func Handler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -260,6 +277,99 @@ func Handler(m *Manager) http.Handler {
 		}
 		if !m.Catalog().Delete(name) {
 			writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset"))
+			return
+		}
+		m.DeleteMonitor(name) // a monitor cannot outlive its dataset
+		writeJSON(w, http.StatusOK, map[string]any{"name": name, "deleted": true})
+	})
+	mux.HandleFunc("POST /datasets/{name}/rows", func(w http.ResponseWriter, r *http.Request) {
+		if m.cfg.MaxAppendBytes < 0 {
+			writeError(w, http.StatusForbidden, fmt.Errorf("dataset appends are disabled"))
+			return
+		}
+		name := r.PathValue("name")
+		e, ok := m.Catalog().Get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset"))
+			return
+		}
+		if !mayMutate(m, r, e.Tenant) {
+			writeError(w, http.StatusForbidden, fmt.Errorf("dataset %q belongs to another tenant", name))
+			return
+		}
+		body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, m.cfg.MaxAppendBytes))
+		if err != nil {
+			var tooBig *http.MaxBytesError
+			if errors.As(err, &tooBig) {
+				writeError(w, http.StatusRequestEntityTooLarge,
+					fmt.Errorf("append exceeds the %d-byte cap", m.cfg.MaxAppendBytes))
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		var owner string
+		var quota int64
+		if t := tenantFrom(r.Context()); t != nil {
+			owner, quota = t.Name, t.MaxCatalogBytes
+		}
+		entry, added, err := m.Catalog().Append(name, body, owner, quota)
+		if err != nil {
+			var qerr *QuotaError
+			if errors.As(err, &qerr) {
+				writeQuotaError(w, qerr)
+				return
+			}
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		resp := map[string]any{"dataset": entry, "rows_added": added}
+		if jobID, fired := m.notifyAppend(name, entry.Rows); fired {
+			resp["monitor_job"] = jobID
+		}
+		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("PUT /datasets/{name}/monitor", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		e, ok := m.Catalog().Get(name)
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset"))
+			return
+		}
+		if !mayMutate(m, r, e.Tenant) {
+			writeError(w, http.StatusForbidden, fmt.Errorf("dataset %q belongs to another tenant", name))
+			return
+		}
+		var spec MonitorSpec
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, MaxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&spec); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("invalid monitor spec: %w", err))
+			return
+		}
+		status, err := m.SetMonitor(name, spec, tenantFrom(r.Context()))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+	mux.HandleFunc("GET /datasets/{name}/monitor", func(w http.ResponseWriter, r *http.Request) {
+		status, ok := m.MonitorStatus(r.PathValue("name"))
+		if !ok {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no monitor installed"))
+			return
+		}
+		writeJSON(w, http.StatusOK, status)
+	})
+	mux.HandleFunc("DELETE /datasets/{name}/monitor", func(w http.ResponseWriter, r *http.Request) {
+		name := r.PathValue("name")
+		if e, ok := m.Catalog().Get(name); ok && !mayMutate(m, r, e.Tenant) {
+			writeError(w, http.StatusForbidden, fmt.Errorf("dataset %q belongs to another tenant", name))
+			return
+		}
+		if !m.DeleteMonitor(name) {
+			writeError(w, http.StatusNotFound, fmt.Errorf("no monitor installed"))
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]any{"name": name, "deleted": true})

@@ -88,6 +88,9 @@ type Config struct {
 	// MaxUploadBytes caps one PUT /datasets/{name} body. Defaults to
 	// 32 MiB; negative disables uploads.
 	MaxUploadBytes int64
+	// MaxAppendBytes caps one POST /datasets/{name}/rows chunk.
+	// Defaults to MaxUploadBytes; negative disables appends.
+	MaxAppendBytes int64
 	// Store, when non-nil, makes the manager restart-safe: job records
 	// are written ahead of acknowledgment, results and the dataset
 	// catalog are persisted, and NewManager recovers all of it —
@@ -141,6 +144,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxUploadBytes == 0 {
 		c.MaxUploadBytes = MaxBodyBytes
 	}
+	if c.MaxAppendBytes == 0 {
+		c.MaxAppendBytes = c.MaxUploadBytes
+	}
 	if c.MaxParallelism == 0 {
 		c.MaxParallelism = runtime.GOMAXPROCS(0) / c.Workers
 		if c.MaxParallelism < 1 {
@@ -189,6 +195,7 @@ type Manager struct {
 	mu       sync.Mutex
 	cond     *sync.Cond // broadcast on any job state/event change
 	jobs     map[string]*Job
+	monitors map[string]*monitor // dataset name → append-triggered re-mine policy
 	queue    chan *Job
 	next     int
 	draining bool
@@ -216,13 +223,14 @@ func NewManager(cfg Config) *Manager {
 	cfg = cfg.withDefaults()
 	root, stop := context.WithCancel(context.Background())
 	m := &Manager{
-		cfg:     cfg,
-		store:   cfg.Store,
-		metrics: cfg.Metrics,
-		catalog: NewCatalog(cfg.MaxCells),
-		jobs:    make(map[string]*Job),
-		root:    root,
-		stop:    stop,
+		cfg:      cfg,
+		store:    cfg.Store,
+		metrics:  cfg.Metrics,
+		catalog:  NewCatalog(cfg.MaxCells),
+		jobs:     make(map[string]*Job),
+		monitors: make(map[string]*monitor),
+		root:     root,
+		stop:     stop,
 	}
 	m.cond = sync.NewCond(&m.mu)
 	m.catalog.store = cfg.Store
@@ -615,6 +623,9 @@ func (m *Manager) run(j *Job) {
 	default:
 		j.State = StateDone
 		j.report = rep
+	}
+	if j.Spec.Monitor != "" {
+		m.harvestMonitorLocked(j)
 	}
 	m.metrics.JobsTotal.Inc(string(j.State), j.Tenant)
 	m.metrics.observeMine(j.Spec.Algorithm, elapsed)

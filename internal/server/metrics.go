@@ -41,6 +41,20 @@ type Metrics struct {
 	// CatalogBytes gauges the raw bytes pinned by catalog entries,
 	// labeled (tenant) — the quantity the per-tenant byte quota caps.
 	CatalogBytes *metrics.Gauge
+	// DatasetAppends counts row chunks accepted by POST
+	// /datasets/{name}/rows, labeled (tenant).
+	DatasetAppends *metrics.Counter
+	// AppendedRows counts transaction rows added by accepted appends,
+	// labeled (tenant).
+	AppendedRows *metrics.Counter
+	// Monitors gauges the installed dataset monitors.
+	Monitors *metrics.Gauge
+	// MonitorJobs counts monitor trigger outcomes, labeled (outcome):
+	// submitted, skipped_busy, error.
+	MonitorJobs *metrics.Counter
+	// MonitorNewPatterns counts patterns reported by a monitor run that
+	// were absent from the monitored dataset's previous run.
+	MonitorNewPatterns *metrics.Counter
 	// HTTPRequests counts API requests, labeled (method, code).
 	HTTPRequests *metrics.Counter
 	// AuthRejections counts authentication/admission rejections,
@@ -90,6 +104,16 @@ func NewMetrics(reg *metrics.Registry) *Metrics {
 			"Named datasets currently in the catalog."),
 		CatalogBytes: reg.NewGauge("pfserve_catalog_bytes",
 			"Raw bytes pinned by catalog entries.", "tenant"),
+		DatasetAppends: reg.NewCounter("pfserve_dataset_appends_total",
+			"Row chunks accepted by the streaming append endpoint.", "tenant"),
+		AppendedRows: reg.NewCounter("pfserve_appended_rows_total",
+			"Transaction rows added by accepted appends.", "tenant"),
+		Monitors: reg.NewGauge("pfserve_monitors",
+			"Dataset monitors currently installed."),
+		MonitorJobs: reg.NewCounter("pfserve_monitor_jobs_total",
+			"Monitor trigger outcomes.", "outcome"),
+		MonitorNewPatterns: reg.NewCounter("pfserve_monitor_new_patterns_total",
+			"Patterns first seen by a monitor's latest completed run."),
 		HTTPRequests: reg.NewCounter("pfserve_http_requests_total",
 			"API requests by method and status code.", "method", "code"),
 		AuthRejections: reg.NewCounter("pfserve_auth_rejections_total",

@@ -33,6 +33,11 @@ type JobSpec struct {
 	// and, unless Whole is set, return the RAW partial report of task
 	// units [Lo, Hi) (unsorted, unbracketed; the coordinator merges).
 	Shard *ShardSpec `json:"shard,omitempty"`
+	// Monitor, when set, names the catalog dataset whose append monitor
+	// submitted this job; on completion the manager folds the result back
+	// into that monitor (warm-start seeds, new-pattern diff). Visible in
+	// job listings so operators can tell monitor re-mines from user jobs.
+	Monitor string `json:"monitor,omitempty"`
 }
 
 // ShardSpec identifies one task-block lease of a distributed run.
@@ -404,7 +409,13 @@ func (ds DatasetSpec) build(cfg Config, cat *Catalog) (*dataset.Dataset, error) 
 	return d, nil
 }
 
-// OptionsSpec is the JSON shape of engine.Options.
+// OptionsSpec is the JSON shape of engine.Options. Pool and KeepPool
+// expose the incremental warm start: "keep_pool": true returns a fusion
+// run's phase-1 pool in the job result's warm_seeds, and "pool" re-seeds
+// a later run from it (or from any itemset list) via MineFromPool — with
+// an unchanged dataset the warm report is byte-identical to the cold run
+// that produced the pool. Warm pools are never persisted by the job
+// store; a restarted server re-mines cold.
 type OptionsSpec struct {
 	MinCount        int     `json:"min_count,omitempty"`
 	MinSupport      float64 `json:"min_support,omitempty"`
@@ -415,6 +426,8 @@ type OptionsSpec struct {
 	MaxSize         int     `json:"max_size,omitempty"`
 	Seed            uint64  `json:"seed,omitempty"`
 	Parallelism     int     `json:"parallelism,omitempty"`
+	Pool            [][]int `json:"pool,omitempty"`
+	KeepPool        bool    `json:"keep_pool,omitempty"`
 }
 
 func (o OptionsSpec) engineOptions() engine.Options {
@@ -428,5 +441,7 @@ func (o OptionsSpec) engineOptions() engine.Options {
 		MaxSize:         o.MaxSize,
 		Seed:            o.Seed,
 		Parallelism:     o.Parallelism,
+		Pool:            o.Pool,
+		KeepPool:        o.KeepPool,
 	}
 }

@@ -223,12 +223,26 @@ type ManifestEntry struct {
 	RequestedFormat string `json:"requested_format,omitempty"`
 	// Tenant is the uploading tenant's name.
 	Tenant string `json:"tenant,omitempty"`
-	// SHA256 is the blob's content hash (and blob filename).
+	// SHA256 is the base blob's content hash (and blob filename) — the
+	// original upload, without appended chunks.
 	SHA256 string `json:"sha256"`
-	// Bytes is the raw upload size.
+	// Bytes is the raw upload size of the base blob.
 	Bytes int64 `json:"bytes"`
 	// Created is the original upload time.
 	Created time.Time `json:"created_at"`
+	// Appends lists the chunks appended via POST /datasets/{name}/rows,
+	// in append order; recovery replays them onto the base blob through
+	// the same ingest.Appender path that accepted them.
+	Appends []AppendRecord `json:"appends,omitempty"`
+}
+
+// AppendRecord is one durable appended chunk: its content-addressed
+// blob and raw size.
+type AppendRecord struct {
+	// SHA256 is the chunk blob's content hash (and blob filename).
+	SHA256 string `json:"sha256"`
+	// Bytes is the chunk's raw size.
+	Bytes int64 `json:"bytes"`
 }
 
 // manifestPath returns the catalog manifest path.

@@ -264,6 +264,59 @@ func (c *Set) fillCompactFrom(src *Set, a *Arena) {
 	c.words = buf
 }
 
+// ExtendClone returns an independent copy of s over the grown universe
+// [0, n) with the strictly increasing TIDs in added — each in
+// [s.Cap(), n) — appended as new members. The result's representation is
+// re-chosen by SparseThreshold(n) exactly as a fresh Builder column over
+// the full row range would pick it; a column that was dense over the old
+// universe may come back sparse because the threshold grows with n. This
+// is the appendable-column primitive behind ingest.Appender: extending
+// every column with its new rows yields sets byte-identical to a
+// from-scratch re-ingest of the concatenated data. s is not modified.
+func (s *Set) ExtendClone(n int, added []uint32) *Set {
+	if n < s.n || n > math.MaxUint32 {
+		panic(fmt.Sprintf("tidset: ExtendClone capacity %d out of range (current %d)", n, s.n))
+	}
+	prev := s.n - 1
+	for _, e := range added {
+		if int(e) < s.n || int(e) >= n || int(e) <= prev {
+			panic(fmt.Sprintf("tidset: ExtendClone TID %d not strictly increasing in [%d,%d)", e, s.n, n))
+		}
+		prev = int(e)
+	}
+	out := New(n)
+	out.card = s.card + len(added)
+	if out.card <= SparseThreshold(n) {
+		buf := make([]uint32, 0, out.card)
+		if s.dense {
+			for wi, w := range s.words {
+				base := wi * wordBits
+				for w != 0 {
+					buf = append(buf, uint32(base+bits.TrailingZeros64(w)))
+					w &= w - 1
+				}
+			}
+		} else {
+			buf = append(buf, s.elems...)
+		}
+		out.elems = append(buf, added...)
+		return out
+	}
+	out.dense = true
+	out.words = make([]uint64, wordsFor(n))
+	if s.dense {
+		copy(out.words, s.words)
+	} else {
+		for _, e := range s.elems {
+			out.words[e/wordBits] |= 1 << (uint(e) % wordBits)
+		}
+	}
+	for _, e := range added {
+		out.words[e/wordBits] |= 1 << (uint(e) % wordBits)
+	}
+	return out
+}
+
 // CopyFrom overwrites s with the contents and representation of src. The
 // capacities must match. Both payload arrays of s are retained across
 // calls, so a pooled scratch set flips representation without allocating.

@@ -239,6 +239,92 @@ func TestBuilderMatchesFromIndices(t *testing.T) {
 	}
 }
 
+func TestExtendCloneMatchesFromIndices(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		n0 := r.Intn(400)
+		grow := r.Intn(400)
+		n1 := n0 + grow
+		var base, added []int
+		for i := 0; i < n0; i++ {
+			if r.Intn(3) == 0 {
+				base = append(base, i)
+			}
+		}
+		for i := n0; i < n1; i++ {
+			if r.Intn(3) == 0 {
+				added = append(added, i)
+			}
+		}
+		addedU := make([]uint32, len(added))
+		for i, v := range added {
+			addedU[i] = uint32(v)
+		}
+		want := FromIndices(n1, append(append([]int(nil), base...), added...))
+		for _, dense := range []bool{false, true} {
+			src := force(FromIndices(n0, base), dense)
+			before := src.Indices()
+			got := src.ExtendClone(n1, addedU)
+			if !got.Equal(want) {
+				t.Fatalf("ExtendClone(%d→%d, dense=%v) members: %v vs %v", n0, n1, dense, got, want)
+			}
+			if got.IsDense() != want.IsDense() {
+				t.Fatalf("ExtendClone(%d→%d, card=%d) dense=%v, FromIndices dense=%v",
+					n0, n1, want.Count(), got.IsDense(), want.IsDense())
+			}
+			if got.Count() != len(base)+len(added) {
+				t.Fatalf("ExtendClone card %d, want %d", got.Count(), len(base)+len(added))
+			}
+			if !reflect.DeepEqual(src.Indices(), before) {
+				t.Fatalf("ExtendClone mutated its receiver")
+			}
+		}
+	}
+}
+
+func TestExtendCloneChainEqualsOneShot(t *testing.T) {
+	// A chain of appends must land on the same members and the same
+	// representation as building the final set in one shot — the invariant
+	// ingest.Appender relies on for append/re-ingest byte-identity.
+	r := rand.New(rand.NewSource(29))
+	var all []int
+	s := New(0)
+	n := 0
+	for step := 0; step < 20; step++ {
+		grow := 1 + r.Intn(200)
+		var added []uint32
+		for i := n; i < n+grow; i++ {
+			if r.Intn(4) == 0 {
+				added = append(added, uint32(i))
+				all = append(all, i)
+			}
+		}
+		n += grow
+		s = s.ExtendClone(n, added)
+		want := FromIndices(n, all)
+		if !s.Equal(want) || s.IsDense() != want.IsDense() {
+			t.Fatalf("step %d: chain (dense=%v) != one-shot (dense=%v): %v vs %v",
+				step, s.IsDense(), want.IsDense(), s, want)
+		}
+	}
+}
+
+func TestExtendClonePanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	s := FromIndices(100, []int{1, 2})
+	expectPanic("shrinking universe", func() { s.ExtendClone(50, nil) })
+	expectPanic("TID below old n", func() { s.ExtendClone(200, []uint32{99}) })
+	expectPanic("TID at new n", func() { s.ExtendClone(200, []uint32{200}) })
+	expectPanic("non-increasing TIDs", func() { s.ExtendClone(200, []uint32{150, 150}) })
+}
+
 func TestRemoveMatchesBitset(t *testing.T) {
 	r := rand.New(rand.NewSource(11))
 	for _, dense := range []bool{false, true} {

@@ -40,6 +40,8 @@ var defaultDirs = []string{
 	"internal/fptree",
 	"internal/metrics",
 	"internal/server",
+	"internal/seq",
+	"internal/quality",
 }
 
 func main() {
