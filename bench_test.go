@@ -39,6 +39,9 @@ var (
 	microOnce sync.Once
 	microDB   *dataset.Dataset
 	microTop  []*dataset.Pattern
+
+	seqReplaceOnce sync.Once
+	seqReplaceDB   *dataset.Dataset
 )
 
 func replaceFixture(b *testing.B) (*dataset.Dataset, []itemset.Itemset, []itemset.Itemset) {
@@ -49,6 +52,18 @@ func replaceFixture(b *testing.B) (*dataset.Dataset, []itemset.Itemset, []itemse
 		replaceClosed = dataset.Itemsets(res.Patterns)
 	})
 	return replaceDB, replacePaths, replaceClosed
+}
+
+// seqReplaceFixture is the Replace trace with its ordered view attached
+// — the dataset a "seq"-format ingestion of the fixture would produce.
+func seqReplaceFixture(b *testing.B) *dataset.Dataset {
+	b.Helper()
+	seqReplaceOnce.Do(func() {
+		rows, _ := datagen.ReplaceSequences(1)
+		seqReplaceDB = dataset.MustNew(rows)
+		seqReplaceDB.SetSequences(rows)
+	})
+	return seqReplaceDB
 }
 
 func microFixture(b *testing.B) (*dataset.Dataset, []*dataset.Pattern) {
@@ -473,6 +488,15 @@ func BenchmarkEngineFPGrowthReplace(b *testing.B) {
 	d, _, _ := replaceFixture(b)
 	b.ResetTimer()
 	benchEngineParallelism(b, "fpgrowth", d, patternfusion.Options{MinSupport: 0.03, MaxSize: 3})
+}
+
+// BenchmarkEngineSeqFusionReplace mines the Replace trace as ordered
+// sequences — the seqfusion golden workload (σ = 0.03, 12 seed slots) —
+// through the engine, at p=1 and p=8 like the other miners.
+func BenchmarkEngineSeqFusionReplace(b *testing.B) {
+	d := seqReplaceFixture(b)
+	b.ResetTimer()
+	benchEngineParallelism(b, "seqfusion", d, patternfusion.Options{MinCount: 132, K: 12, Seed: 1})
 }
 
 func BenchmarkEngineMaximalMicroarray(b *testing.B) {

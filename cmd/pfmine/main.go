@@ -12,14 +12,18 @@
 //	pfmine -algo maximal  -minsup 0.5 -budget 10s data.dat
 //	pfmine -algo topk     -k 20 -minlen 5 data.dat
 //
-// The input may be FIMI, CSV/basket (string item names), or a dense
-// binary matrix, optionally gzipped — the format is sniffed from the
-// extension and content, or forced with -format. The deterministic
-// transform flags (-sample, -rows, -items, -min-item-support, -remap)
-// shard and prune the dataset at ingestion; see docs/formats.md.
+// The input may be FIMI, CSV/basket (string item names), a dense
+// binary matrix, or an ordered event-sequence file (".seq" — same line
+// grammar as FIMI with order and repeats preserved, mined by the
+// seqfusion algorithm), optionally gzipped — the format is sniffed
+// from the extension and content, or forced with -format. The
+// deterministic transform flags (-sample, -rows, -items,
+// -min-item-support, -remap) shard and prune the dataset at
+// ingestion; see docs/formats.md.
 //
 //	pfmine -algo fusion -format csv -minsup 0.05 baskets.csv.gz
 //	pfmine -algo eclat -sample 0.1 -min-item-support 50 huge.dat.gz
+//	pfmine -algo seqfusion -mincount 100 -k 20 clicks.seq
 //
 // Output: one pattern per line, "item item … # support=N size=M", largest
 // patterns first (CSV inputs print item names). Use -top to truncate the

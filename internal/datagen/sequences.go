@@ -1,0 +1,21 @@
+package datagen
+
+// ReplaceSequences renders the Replace program-trace fixture as ordered
+// event rows: every transaction is generated in ascending item order, so
+// a planted colossal itemset reads verbatim as a planted colossal
+// subsequence of every row containing it. rows[i] is transaction i as an
+// event sequence; planted are the three size-44 execution paths in the
+// same reading. This is the shared fixture the sequence fold goldens and
+// the seqfusion miner goldens are pinned on.
+func ReplaceSequences(seed uint64) (rows, planted [][]int) {
+	d, ps := Replace(seed)
+	rows = make([][]int, d.Size())
+	for i, txn := range d.Transactions() {
+		rows[i] = append([]int(nil), txn...)
+	}
+	planted = make([][]int, len(ps))
+	for i, p := range ps {
+		planted[i] = append([]int(nil), p...)
+	}
+	return rows, planted
+}

@@ -34,6 +34,7 @@ type Dataset struct {
 	transactions []itemset.Itemset // horizontal form, canonical itemsets
 	tidsets      []*tidset.Set     // vertical form: tidsets[item] = D_{item}
 	numItems     int               // item universe size (max item ID + 1)
+	seqs         [][]int           // optional ordered view; see SetSequences
 }
 
 // New builds a Dataset from raw transactions. Each transaction is
@@ -280,6 +281,27 @@ func (c *Closer) Closure(tids *tidset.Set) itemset.Itemset {
 	c.buf = out
 	return out
 }
+
+// SetSequences attaches an order-preserving view of the rows: rows[i] is
+// transaction i's events in source order, repeats kept. It is set by the
+// builders of sequence data (the ingest "seq" format, the sequence test
+// fixtures) immediately after construction — the one mutation the
+// otherwise-immutable Dataset allows — and read by the sequence miner.
+// The caller contract: len(rows) == Size(), and the distinct events of
+// rows[i] equal Transaction(i), so the itemset view (supports, TID-sets,
+// transforms) stays consistent with the ordered one.
+func (d *Dataset) SetSequences(rows [][]int) {
+	if rows != nil && len(rows) != len(d.transactions) {
+		panic(fmt.Sprintf("dataset: %d sequence rows for %d transactions", len(rows), len(d.transactions)))
+	}
+	d.seqs = rows
+}
+
+// Sequences returns the ordered row view attached by SetSequences, or nil
+// when the dataset carries none (itemset-format ingestions, generators).
+// Callers must not modify the returned rows. Miners that need an ordered
+// view of a sequence-less dataset fall back to the canonical transactions.
+func (d *Dataset) Sequences() [][]int { return d.seqs }
 
 // ItemFrequencies returns, for every item in the universe, its support
 // count.

@@ -14,5 +14,6 @@ import (
 	_ "repro/internal/eclat"
 	_ "repro/internal/fpgrowth"
 	_ "repro/internal/maximal"
+	_ "repro/internal/seqfusion"
 	_ "repro/internal/topk"
 )

@@ -31,6 +31,7 @@ var minerPackages = map[string]string{
 	"fpgrowth":   "internal/fpgrowth",
 	"fusion":     "internal/core",
 	"maximal":    "internal/maximal",
+	"seqfusion":  "internal/seqfusion",
 	"topk":       "internal/topk",
 }
 
@@ -154,14 +155,15 @@ func encodeReport(t *testing.T, rep *engine.Report) []byte {
 		Support int   `json:"support"`
 	}
 	out := struct {
-		Algorithm    string   `json:"algorithm"`
-		Patterns     []pat    `json:"patterns"`
-		InitPoolSize int      `json:"init_pool_size"`
-		Iterations   int      `json:"iterations"`
-		Visited      int      `json:"visited"`
-		Stopped      bool     `json:"stopped"`
-		Warnings     []string `json:"warnings"`
-	}{rep.Algorithm, make([]pat, 0, len(rep.Patterns)), rep.InitPoolSize, rep.Iterations, rep.Visited, rep.Stopped, rep.Warnings}
+		Algorithm    string          `json:"algorithm"`
+		Patterns     []pat           `json:"patterns"`
+		InitPoolSize int             `json:"init_pool_size"`
+		Iterations   int             `json:"iterations"`
+		Visited      int             `json:"visited"`
+		Stopped      bool            `json:"stopped"`
+		Warnings     []string        `json:"warnings"`
+		Quality      *engine.Quality `json:"quality"`
+	}{rep.Algorithm, make([]pat, 0, len(rep.Patterns)), rep.InitPoolSize, rep.Iterations, rep.Visited, rep.Stopped, rep.Warnings, rep.Quality}
 	for _, p := range rep.Patterns {
 		out.Patterns = append(out.Patterns, pat{Items: append([]int{}, p.Items...), Support: p.Support()})
 	}
@@ -374,7 +376,7 @@ func TestNamesSortedAndStable(t *testing.T) {
 		}
 	}
 	// Registered under the documented names.
-	want := fmt.Sprint([]string{"apriori", "closed", "closedrows", "eclat", "fpgrowth", "fusion", "maximal", "topk"})
+	want := fmt.Sprint([]string{"apriori", "closed", "closedrows", "eclat", "fpgrowth", "fusion", "maximal", "seqfusion", "topk"})
 	if got := fmt.Sprint(a); got != want {
 		t.Fatalf("Names = %s, want %s", got, want)
 	}

@@ -135,6 +135,14 @@ type Report struct {
 	// pure function of (algorithm, Options), preserving Report
 	// determinism.
 	Warnings []string
+	// Quality, when non-nil, is the paper's Section 5 approximation-error
+	// estimate of this result: Δ of Patterns against the algorithm's own
+	// candidate pool (seqfusion computes it against its initial pool).
+	// Like every other Report field it is a pure function of
+	// (algorithm, dataset, Options); algorithms that do not estimate
+	// quality leave it nil, which the wire encoding and the job store
+	// omit, so their report hashes are unchanged.
+	Quality *Quality
 	// Pool is the run's phase-1 pool itemsets in pool order, present only
 	// when Options.KeepPool was set on a fusion run. It is the warm-start
 	// seed for Options.Pool. Like TID sets it is an acceleration artifact,
@@ -142,6 +150,15 @@ type Report struct {
 	// EncodeReport/ReportHash are unaffected, and the durable job store
 	// does not persist it (a restarted server re-mines cold).
 	Pool [][]int `json:"-"`
+}
+
+// Quality is a result-set approximation-error estimate (Definitions 9
+// and 10): how well the reported patterns summarize the candidate set
+// they were fused from. Smaller is better; 0 means every candidate is
+// covered exactly.
+type Quality struct {
+	// Delta is the approximation error Δ(A_P^Q).
+	Delta float64 `json:"delta"`
 }
 
 // Uses declares which of the algorithm-specific Options fields an

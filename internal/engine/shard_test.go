@@ -16,10 +16,11 @@ import (
 )
 
 // shardedMiners are the registry names expected to implement Sharder:
-// the six DFS miners whose searches decompose into static task blocks.
-// fusion (globally coupled iterations) and apriori (level-synchronous
-// candidate generation) are deliberately absent.
-var shardedMiners = []string{"closed", "closedrows", "eclat", "fpgrowth", "maximal", "topk"}
+// the six DFS miners whose searches decompose into static task blocks,
+// plus seqfusion (independent seed-slot trajectories). fusion (globally
+// coupled iterations) and apriori (level-synchronous candidate
+// generation) are deliberately absent.
+var shardedMiners = []string{"closed", "closedrows", "eclat", "fpgrowth", "maximal", "seqfusion", "topk"}
 
 func TestSharderCoverage(t *testing.T) {
 	want := map[string]bool{}

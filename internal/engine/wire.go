@@ -31,6 +31,9 @@ type WireReport struct {
 	Visited      int           `json:"visited"`
 	Stopped      bool          `json:"stopped"`
 	Warnings     []string      `json:"warnings"`
+	// Quality is omitted when the algorithm reports none, so the
+	// encodings (and hashes) of the quality-less miners are unchanged.
+	Quality *Quality `json:"quality,omitempty"`
 }
 
 // ToWire converts a Report to its wire form.
@@ -43,6 +46,10 @@ func ToWire(rep *Report) WireReport {
 		Visited:      rep.Visited,
 		Stopped:      rep.Stopped,
 		Warnings:     rep.Warnings,
+	}
+	if rep.Quality != nil {
+		q := *rep.Quality
+		w.Quality = &q
 	}
 	for _, p := range rep.Patterns {
 		w.Patterns = append(w.Patterns, WirePattern{Items: append([]int{}, p.Items...), Support: p.Support()})
@@ -61,6 +68,10 @@ func (w WireReport) FromWire() *Report {
 		Visited:      w.Visited,
 		Stopped:      w.Stopped,
 		Warnings:     w.Warnings,
+	}
+	if w.Quality != nil {
+		q := *w.Quality
+		rep.Quality = &q
 	}
 	if len(w.Patterns) > 0 {
 		rep.Patterns = make([]*dataset.Pattern, 0, len(w.Patterns))

@@ -52,6 +52,7 @@ type Appender struct {
 	midLine bool
 	freq    []int
 	txns    []itemset.Itemset
+	seqs    [][]int // ordered rows; non-nil iff the format is sequential
 	sets    []*tidset.Set
 	res     *Result
 	appends int
@@ -94,6 +95,7 @@ func NewAppender(src Source, opts Options) (*Appender, error) {
 		midLine: st.midLine,
 		freq:    st.freq,
 		txns:    res.Dataset.Transactions(),
+		seqs:    res.Dataset.Sequences(),
 		res:     res,
 	}
 	a.sets = make([]*tidset.Set, res.Dataset.NumItems())
@@ -137,7 +139,7 @@ func (a *Appender) Append(data []byte) (*Result, error) {
 		table = c.Table
 		symBase = table.Len()
 	}
-	newTxns, tail, err := a.decodeChunk(data, gz)
+	newTxns, newSeqs, tail, err := a.decodeChunk(data, gz)
 	if err != nil {
 		if table != nil {
 			table.truncate(symBase)
@@ -193,13 +195,20 @@ func (a *Appender) Append(data []byte) (*Result, error) {
 		sets[c] = old.ExtendClone(newRows, addedTIDs[c])
 	}
 	a.txns = append(a.txns, newTxns...)
+	if a.seqs != nil {
+		a.seqs = append(a.seqs, newSeqs...)
+	}
 	a.sets = sets
 	a.hasher.Write(data)
 	a.midLine = tail
 	a.appends++
 
+	ds := dataset.FromParts(a.txns[:newRows:newRows], sets)
+	if a.seqs != nil {
+		ds.SetSequences(a.seqs[:newRows:newRows])
+	}
 	res := &Result{
-		Dataset:  dataset.FromParts(a.txns[:newRows:newRows], sets),
+		Dataset:  ds,
 		Format:   a.format.Name(),
 		Gzipped:  a.gzipped,
 		Symbols:  table,
@@ -230,6 +239,9 @@ func (a *Appender) Undo() error {
 	// shares the old backing array past st.rows, and a later Append must
 	// not overwrite it.
 	a.txns = append([]itemset.Itemset(nil), a.txns[:st.rows]...)
+	if a.seqs != nil {
+		a.seqs = append([][]int(nil), a.seqs[:st.rows]...)
+	}
 	a.freq = st.freq
 	a.sets = st.sets
 	a.midLine = st.midLine
@@ -248,22 +260,25 @@ func (a *Appender) Undo() error {
 	return nil
 }
 
-// decodeChunk decodes one chunk into canonical transactions, reporting
-// whether the decompressed chunk ended mid-line. It validates the MaxItem
-// cap but does not mutate any Appender state (the CSV symbol table,
-// mutated by the shared Format value, is the caller's to roll back).
-func (a *Appender) decodeChunk(data []byte, gz bool) ([]itemset.Itemset, bool, error) {
+// decodeChunk decodes one chunk into canonical transactions — plus, for
+// sequential formats, the ordered rows — reporting whether the
+// decompressed chunk ended mid-line. It validates the MaxItem cap but
+// does not mutate any Appender state (the CSV symbol table, mutated by
+// the shared Format value, is the caller's to roll back).
+func (a *Appender) decodeChunk(data []byte, gz bool) ([]itemset.Itemset, [][]int, bool, error) {
 	var rdr io.Reader = bytes.NewReader(data)
 	if gz {
 		zr, err := gzip.NewReader(bufio.NewReader(rdr))
 		if err != nil {
-			return nil, false, err
+			return nil, nil, false, err
 		}
 		rdr = zr
 	}
 	tail := &tailReader{r: rdr}
 	dec := a.format.NewDecoder(tail)
 	var txns []itemset.Itemset
+	var seqs [][]int
+	ordered := sequential(a.format)
 	row := len(a.txns)
 	for {
 		items, err := dec.Next()
@@ -271,17 +286,20 @@ func (a *Appender) decodeChunk(data []byte, gz bool) ([]itemset.Itemset, bool, e
 			break
 		}
 		if err != nil {
-			return nil, false, err
+			return nil, nil, false, err
 		}
 		for _, item := range items {
 			if a.maxItem > 0 && item > a.maxItem {
-				return nil, false, fmt.Errorf("row %d: item %d exceeds the %d item-ID cap", row, item, a.maxItem)
+				return nil, nil, false, fmt.Errorf("row %d: item %d exceeds the %d item-ID cap", row, item, a.maxItem)
 			}
+		}
+		if ordered {
+			seqs = append(seqs, append([]int(nil), items...))
 		}
 		txns = append(txns, itemset.Canonical(items))
 		row++
 	}
-	return txns, tail.midLine(), nil
+	return txns, seqs, tail.midLine(), nil
 }
 
 // truncate rolls the table back to its first n symbols, undoing the

@@ -99,6 +99,9 @@ func requireIdentical(t *testing.T, got, want *Result) {
 			t.Fatalf("txn %d: got %v want %v", tid, g, w)
 		}
 	}
+	if !datasetsEqual(gd, wd) {
+		t.Fatalf("ordered views diverged: got %v want %v", gd.Sequences(), wd.Sequences())
+	}
 	for item := 0; item < gd.NumItems(); item++ {
 		g, w := gd.ItemTIDs(item), wd.ItemTIDs(item)
 		if !g.Equal(w) {

@@ -29,7 +29,7 @@ type Flags struct {
 
 // Register installs the ingestion flags on fs.
 func (f *Flags) Register(fs *flag.FlagSet) {
-	fs.StringVar(&f.Format, "format", "", "input format: fimi, csv, or matrix (default: sniff by extension/content; gzip always auto-detected)")
+	fs.StringVar(&f.Format, "format", "", "input format: fimi, csv, matrix, or seq (default: sniff by extension/content; gzip always auto-detected)")
 	fs.Float64Var(&f.Sample, "sample", 0, "keep each row independently with this probability in (0,1); deterministic per -sample-seed")
 	fs.Uint64Var(&f.SampleSeed, "sample-seed", 1, "seed of the deterministic row-sampling stream")
 	fs.IntVar(&f.MinItemSupport, "min-item-support", 0, "drop items occurring in fewer than this many kept rows")

@@ -23,7 +23,8 @@ const MaxLineBytes = dataset.MaxLineBytes
 // value serves exactly one source: the two ingestion passes share it, two
 // different sources must not.
 type Format interface {
-	// Name is the format's registry name: "fimi", "csv", or "matrix".
+	// Name is the format's registry name: "fimi", "csv", "matrix", or
+	// "seq".
 	Name() string
 	// NewDecoder returns a Decoder streaming transactions from r.
 	NewDecoder(r io.Reader) Decoder
@@ -45,7 +46,7 @@ type Decoder interface {
 
 // FormatNames lists the built-in format names accepted by FormatByName,
 // in the order they are documented.
-func FormatNames() []string { return []string{"fimi", "csv", "matrix"} }
+func FormatNames() []string { return []string{"fimi", "csv", "matrix", "seq"} }
 
 // FormatByName returns a fresh Format value for the given name.
 func FormatByName(name string) (Format, error) {
@@ -56,6 +57,8 @@ func FormatByName(name string) (Format, error) {
 		return NewCSV(), nil
 	case "matrix":
 		return Matrix(), nil
+	case "seq":
+		return Seq(), nil
 	}
 	return nil, fmt.Errorf("ingest: unknown format %q (known: %s)", name, strings.Join(FormatNames(), ", "))
 }
@@ -66,15 +69,18 @@ func FormatByName(name string) (Format, error) {
 // ".mat"/".matrix" mean matrix, ".dat"/".fimi"/".txt" mean FIMI.
 // Otherwise the first non-comment, non-blank preview line decides:
 // a comma or any non-integer token means CSV, all-integer tokens mean
-// FIMI. A binary matrix is syntactically valid FIMI, so matrix files are
-// only recognized by extension or an explicit format selection. Empty
-// input defaults to FIMI.
+// FIMI. A binary matrix and an event-sequence file are both
+// syntactically valid FIMI, so matrix and seq files are only recognized
+// by extension (".mat"/".matrix", ".seq") or an explicit format
+// selection. Empty input defaults to FIMI.
 func SniffFormat(name string, head []byte) Format {
 	switch strings.ToLower(filepath.Ext(strings.TrimSuffix(name, ".gz"))) {
 	case ".csv", ".basket":
 		return NewCSV()
 	case ".mat", ".matrix":
 		return Matrix()
+	case ".seq":
+		return Seq()
 	case ".dat", ".fimi", ".txt":
 		return FIMI()
 	}

@@ -49,6 +49,21 @@ func FuzzReadCSV(f *testing.F) {
 	})
 }
 
+// FuzzReadSeq asserts the parser contract for the sequence format: same
+// line grammar as FIMI, but the round trip must also preserve event
+// order and repeats — datasetsEqual compares the attached ordered views,
+// so a decoder that canonicalized rows would fail here.
+func FuzzReadSeq(f *testing.F) {
+	f.Add([]byte("2 1 2\n"))
+	f.Add([]byte("# comment\n\n0\n5 5 5\n"))
+	f.Add([]byte("10 2\n\n\n7\n"))
+	f.Add([]byte("3 1\n1 3\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fuzzRoundTrip(t, data, Seq)
+	})
+}
+
 // FuzzAppendChunk asserts the Appender contract on arbitrary base+chunk
 // bytes: an accepted append is indistinguishable from re-ingesting the
 // concatenated bytes, and a rejected append leaves the appender exactly
@@ -60,8 +75,9 @@ func FuzzAppendChunk(f *testing.F) {
 	f.Add([]byte("0 1"), []byte("2\n"), uint8(0))      // mid-line base
 	f.Add([]byte("0\n"), []byte("\x1f\x8b"), uint8(0)) // gzip-magic chunk
 	f.Add([]byte(""), []byte("5 6\n"), uint8(0))
+	f.Add([]byte("2 1\n"), []byte("1 2 1\n"), uint8(3)) // ordered rows
 	f.Fuzz(func(t *testing.T, base, chunk []byte, sel uint8) {
-		mk := []func() Format{FIMI, func() Format { return NewCSV() }, Matrix}[sel%3]
+		mk := []func() Format{FIMI, func() Format { return NewCSV() }, Matrix, Seq}[sel%4]
 		opts := func() Options { return Options{Format: mk(), MaxItem: 1 << 16} }
 		app, err := NewAppender(BytesSource("fuzz-append", base), opts())
 		if err != nil {

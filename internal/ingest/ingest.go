@@ -207,6 +207,12 @@ func ingestState(src Source, opts Options) (*Result, *appendState, error) {
 	// pass-1 frequencies size every column exactly and pick its
 	// representation (dense words vs sorted array) before any TID lands.
 	txns := make([]itemset.Itemset, 0, res.RowsKept)
+	// Sequence formats additionally keep each row's translated events in
+	// source order (repeats included) for the dataset's ordered view.
+	var seqRows [][]int
+	if sequential(format) {
+		seqRows = make([][]int, 0, res.RowsKept)
+	}
 	counts := make([]int, plan.universe)
 	for src, nt := range plan.translate {
 		if nt >= 0 {
@@ -239,6 +245,9 @@ func ingestState(src Source, opts Options) (*Result, *appendState, error) {
 					scratch = append(scratch, nt)
 				}
 			}
+			if seqRows != nil {
+				seqRows = append(seqRows, append([]int(nil), scratch...))
+			}
 			txn := itemset.Canonical(scratch)
 			tid := len(txns)
 			if tid >= res.RowsKept {
@@ -258,6 +267,7 @@ func ingestState(src Source, opts Options) (*Result, *appendState, error) {
 		return nil, nil, fmt.Errorf("ingest: %s: source changed between passes (%d rows, then %d)", src.Name(), res.RowsKept, len(txns))
 	}
 	res.Dataset = dataset.FromParts(txns, builder.Sets())
+	res.Dataset.SetSequences(seqRows)
 	return res, &appendState{format: format, hasher: hasher, freq: freq, midLine: tail.midLine()}, nil
 }
 
@@ -358,9 +368,22 @@ func HashFile(path string) (string, error) {
 // without remap) returns rep unchanged. Supports, counters and warnings
 // are preserved, so for any complete (label-independent) miner the
 // translated report is byte-identical to mining the unmapped dataset.
+//
+// Itemset patterns are re-canonicalized after translation (the remap is
+// order-reversing, so a translated itemset is no longer sorted). Pattern
+// item order is preserved verbatim for algorithms that declare it
+// meaningful (the sequence miner, via the OrderedPatterns marker):
+// there each Items slice is an event sequence and sorting it would
+// corrupt the pattern.
 func RemapReport(rep *engine.Report, mapping []int) *engine.Report {
 	if mapping == nil {
 		return rep
+	}
+	ordered := false
+	if alg, err := engine.Get(rep.Algorithm); err == nil {
+		if o, ok := alg.(interface{ OrderedPatterns() bool }); ok {
+			ordered = o.OrderedPatterns()
+		}
 	}
 	out := *rep
 	out.Patterns = make([]*dataset.Pattern, len(rep.Patterns))
@@ -369,7 +392,11 @@ func RemapReport(rep *engine.Report, mapping []int) *engine.Report {
 		for j, item := range p.Items {
 			raw[j] = mapping[item]
 		}
-		out.Patterns[i] = dataset.NewPatternCounted(itemset.Canonical(raw), p.TIDs, p.Support())
+		items := itemset.Itemset(raw)
+		if !ordered {
+			items = itemset.Canonical(raw)
+		}
+		out.Patterns[i] = dataset.NewPatternCounted(items, p.TIDs, p.Support())
 	}
 	dataset.SortPatterns(out.Patterns)
 	return &out

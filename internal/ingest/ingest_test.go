@@ -17,8 +17,8 @@ import (
 	"repro/internal/rng"
 )
 
-// datasetsEqual reports whether two datasets have identical transactions
-// and universe.
+// datasetsEqual reports whether two datasets have identical transactions,
+// universe, and (for sequential formats) ordered views.
 func datasetsEqual(a, b *dataset.Dataset) bool {
 	if a.Size() != b.Size() || a.NumItems() != b.NumItems() {
 		return false
@@ -26,6 +26,20 @@ func datasetsEqual(a, b *dataset.Dataset) bool {
 	for i := 0; i < a.Size(); i++ {
 		if !a.Transaction(i).Equal(b.Transaction(i)) {
 			return false
+		}
+	}
+	as, bs := a.Sequences(), b.Sequences()
+	if (as == nil) != (bs == nil) {
+		return false
+	}
+	for i := range as {
+		if len(as[i]) != len(bs[i]) {
+			return false
+		}
+		for j := range as[i] {
+			if as[i][j] != bs[i][j] {
+				return false
+			}
 		}
 	}
 	return true

@@ -1,0 +1,73 @@
+package ingest
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+
+	"repro/internal/dataset"
+)
+
+// ---------------------------------------------------------------------------
+// Seq: one event sequence per line, order-preserving.
+
+// Seq returns the sequence/event-log format: one sequence per line of
+// whitespace-separated non-negative integer event IDs — the FIMI grammar
+// ('#'-prefixed comments, blank lines as empty rows, the shared line
+// budget), but with the order and repetition of events significant. An
+// ingestion in this format attaches the ordered rows to the dataset via
+// dataset.SetSequences alongside the usual itemset view (each row's
+// distinct events), so itemset miners and the sequence miner read the
+// same ingested dataset. A sequence file is syntactically valid FIMI, so
+// like matrix it is only recognized by extension (".seq") or explicit
+// selection, never by content sniffing.
+func Seq() Format { return seqFormat{} }
+
+type seqFormat struct{}
+
+func (seqFormat) Name() string { return "seq" }
+
+// NewDecoder reuses the FIMI decoder: it already yields each line's
+// items in source order with repeats, which is exactly a sequence row.
+func (seqFormat) NewDecoder(r io.Reader) Decoder {
+	return &fimiDecoder{ls: newLineScanner(r)}
+}
+
+// Encode writes one line per row: the ordered events of d.Sequences()
+// when the dataset carries them, falling back to the canonical
+// transactions (ascending order, no repeats) otherwise — so any dataset
+// can be exported as sequences, and a seq-ingested one round-trips.
+func (seqFormat) Encode(w io.Writer, d *dataset.Dataset) error {
+	bw := bufio.NewWriter(w)
+	rows := d.Sequences()
+	for tid := 0; tid < d.Size(); tid++ {
+		var row []int
+		if rows != nil {
+			row = rows[tid]
+		} else {
+			row = d.Transaction(tid)
+		}
+		for i, e := range row {
+			if i > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.Itoa(e)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// sequential reports whether f's rows are order-preserving event
+// sequences rather than unordered itemsets — the builders (two-pass
+// ingest, Appender) keep the ordered rows only for these formats.
+func sequential(f Format) bool {
+	_, ok := f.(seqFormat)
+	return ok
+}

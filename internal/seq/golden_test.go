@@ -9,29 +9,20 @@ import (
 )
 
 // replaceSequences views the Replace fixture's transactions as
-// sequences: each row is already in ascending item order, so a planted
-// colossal itemset reads as a planted colossal subsequence of every row
-// that contains it. This is the fixture the future sequence miner will
-// be evaluated on; the goldens below pin today's fold behavior so that
-// PR starts from known-good output.
+// sequences via the shared datagen.ReplaceSequences helper (each row is
+// generated in ascending item order, so a planted colossal itemset
+// reads as a planted colossal subsequence of every row containing it).
+// The goldens below pin the fold behavior the seqfusion miner builds on.
 func replaceSequences(t *testing.T) (*Dataset, []Sequence) {
 	t.Helper()
-	d, planted := datagen.Replace(1)
-	seqs := make([]Sequence, d.Size())
-	for i, txn := range d.Transactions() {
-		s := make(Sequence, len(txn))
-		for j, it := range txn {
-			s[j] = int(it)
-		}
-		seqs[i] = s
+	rows, planted := datagen.ReplaceSequences(1)
+	seqs := make([]Sequence, len(rows))
+	for i, row := range rows {
+		seqs[i] = Sequence(row)
 	}
 	ps := make([]Sequence, len(planted))
 	for i, p := range planted {
-		s := make(Sequence, len(p))
-		for j, it := range p {
-			s[j] = int(it)
-		}
-		ps[i] = s
+		ps[i] = Sequence(p)
 	}
 	return MustNewDataset(seqs), ps
 }

@@ -204,6 +204,16 @@ func (d *Dataset) NumEvents() int { return d.numEvents }
 // Seq returns sequence tid.
 func (d *Dataset) Seq(tid int) Sequence { return d.seqs[tid] }
 
+// EventTIDs returns the support set of the single event e — the
+// inverted-index row, shared with the Dataset; callers must not modify
+// it. Events outside the universe have an empty support set.
+func (d *Dataset) EventTIDs(e int) *bitset.Bitset {
+	if e < 0 || e >= d.numEvents {
+		return bitset.New(len(d.seqs))
+	}
+	return d.eventTIDs[e]
+}
+
 // TIDSet returns the support set of pattern p: the sequences containing p
 // as a subsequence. The per-event index prunes the candidates; each
 // survivor is verified with the order-preserving containment test.

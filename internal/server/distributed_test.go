@@ -17,11 +17,11 @@ import (
 	_ "repro/internal/engine/all"
 )
 
-// distAlgorithms are the eight real miners (the registry also holds
+// distAlgorithms are the nine real miners (the registry also holds
 // test-only fakes registered by sibling test files).
 var distAlgorithms = []string{
 	"apriori", "closed", "closedrows", "eclat",
-	"fpgrowth", "fusion", "maximal", "topk",
+	"fpgrowth", "fusion", "maximal", "seqfusion", "topk",
 }
 
 // startWorkers spins n in-process worker pfserves and returns their base

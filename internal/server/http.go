@@ -440,6 +440,9 @@ func renderResult(rep *engine.Report, r *http.Request) map[string]any {
 	if len(rep.Warnings) > 0 {
 		result["warnings"] = rep.Warnings
 	}
+	if rep.Quality != nil {
+		result["quality"] = rep.Quality
+	}
 	return result
 }
 

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/engine"
+	_ "repro/internal/engine/all"
+)
+
+// TestServedQualityDelta is the end-to-end pin of the quality estimate:
+// a seqfusion job over a catalog-uploaded ".seq" trace must serve a
+// non-null quality.delta with the exact pinned value (the result schema
+// the CI smoke test asserts), while itemset miners keep serving results
+// without a quality field at all.
+func TestServedQualityDelta(t *testing.T) {
+	_, srv := newCatalogServer(t, Config{Workers: 1})
+
+	trace := []byte("0 1 2 3\n0 1 2 3\n0 1 2 3\n3 2 1 0\n3 2 1 0\n")
+	resp, entry := putDataset(t, srv, "trace.seq", "", trace)
+	if resp.StatusCode != 201 {
+		t.Fatalf("PUT status %d, want 201", resp.StatusCode)
+	}
+	if entry.Format != "seq" {
+		t.Fatalf("uploaded trace sniffed as %q, want seq", entry.Format)
+	}
+
+	result := runJob(t, srv,
+		`{"algorithm":"seqfusion","dataset":{"catalog":"trace.seq"},"options":{"min_count":2,"k":4,"seed":1}}`)
+	q, ok := result["quality"].(map[string]any)
+	if !ok {
+		t.Fatalf("served result has no quality object: %v", result)
+	}
+	delta, ok := q["delta"].(float64)
+	if !ok {
+		t.Fatalf("served quality has no numeric delta: %v", q)
+	}
+	// Pinned end to end: ingest → seq view → miner → job store → HTTP.
+	if got := fmt.Sprintf("%.12f", delta); got != "0.375000000000" {
+		t.Errorf("served quality delta = %s, want 0.375000000000", got)
+	}
+	if patterns, ok := result["patterns"].([]any); !ok || len(patterns) == 0 {
+		t.Fatalf("served result has no patterns: %v", result)
+	}
+
+	// Itemset miners stay quality-less: no field, not a null.
+	result = runJob(t, srv,
+		`{"algorithm":"eclat","dataset":{"catalog":"trace.seq"},"options":{"min_count":2}}`)
+	if _, present := result["quality"]; present {
+		t.Fatalf("eclat result serves a quality field: %v", result)
+	}
+}
+
+// TestStoreRoundTripsQuality pins the durable job store on the new
+// field: a report with a quality estimate must reload with it intact,
+// and a quality-less report must reload with nil (not a zero value).
+func TestStoreRoundTripsQuality(t *testing.T) {
+	st, err := OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alg, err := engine.Get("seqfusion")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := alg.Mine(context.Background(), datagen.Diag(8), engine.Options{MinCount: 7, K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quality == nil {
+		t.Fatal("seqfusion report carries no quality")
+	}
+	if err := st.SaveResult("q1", rep); err != nil {
+		t.Fatal(err)
+	}
+	back, ok, err := st.LoadResult("q1")
+	if err != nil || !ok {
+		t.Fatalf("LoadResult: ok=%v err=%v", ok, err)
+	}
+	if back.Quality == nil || back.Quality.Delta != rep.Quality.Delta {
+		t.Fatalf("reloaded quality = %+v, want %+v", back.Quality, rep.Quality)
+	}
+	if engine.ReportHash(back) != engine.ReportHash(rep) {
+		t.Fatal("report hash changed across the store round trip")
+	}
+
+	rep.Quality = nil
+	if err := st.SaveResult("q2", rep); err != nil {
+		t.Fatal(err)
+	}
+	back, ok, err = st.LoadResult("q2")
+	if err != nil || !ok {
+		t.Fatalf("LoadResult: ok=%v err=%v", ok, err)
+	}
+	if back.Quality != nil {
+		t.Fatalf("quality-less report reloaded with %+v", back.Quality)
+	}
+}

@@ -114,7 +114,7 @@ type DatasetSpec struct {
 	// dataset is reused across jobs (content-hash keyed).
 	Catalog string `json:"catalog,omitempty"`
 	// Format optionally forces the format of a Path dataset: "fimi",
-	// "csv", or "matrix".
+	// "csv", "matrix", or "seq" (ordered event sequences).
 	Format string `json:"format,omitempty"`
 	// Generator is one of "diag", "diagplus", "random", "replace",
 	// "microarray", "quest" (the Section 6 workloads plus the classic

@@ -157,6 +157,7 @@ type storedReport struct {
 	Visited      int             `json:"visited,omitempty"`
 	Stopped      bool            `json:"stopped,omitempty"`
 	Warnings     []string        `json:"warnings,omitempty"`
+	Quality      *engine.Quality `json:"quality,omitempty"`
 }
 
 // storedPattern is one persisted pattern: itemset plus support count.
@@ -175,6 +176,10 @@ func (s *Store) SaveResult(id string, rep *engine.Report) error {
 		Visited:      rep.Visited,
 		Stopped:      rep.Stopped,
 		Warnings:     rep.Warnings,
+	}
+	if rep.Quality != nil {
+		q := *rep.Quality
+		sr.Quality = &q
 	}
 	for i, p := range rep.Patterns {
 		sr.Patterns[i] = storedPattern{Items: p.Items, Support: p.Support()}
@@ -202,6 +207,10 @@ func (s *Store) LoadResult(id string) (rep *engine.Report, ok bool, err error) {
 		Visited:      sr.Visited,
 		Stopped:      sr.Stopped,
 		Warnings:     sr.Warnings,
+	}
+	if sr.Quality != nil {
+		q := *sr.Quality
+		rep.Quality = &q
 	}
 	for i, sp := range sr.Patterns {
 		p := &dataset.Pattern{Items: itemset.Itemset(sp.Items)}

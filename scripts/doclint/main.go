@@ -41,6 +41,7 @@ var defaultDirs = []string{
 	"internal/metrics",
 	"internal/server",
 	"internal/seq",
+	"internal/seqfusion",
 	"internal/quality",
 }
 

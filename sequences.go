@@ -1,11 +1,20 @@
 package patternfusion
 
-import "repro/internal/seq"
+import (
+	"repro/internal/seq"
+	"repro/internal/seqfusion"
+)
 
 // The sequence extension (the paper's Section 8 future-work direction):
 // Pattern-Fusion over subsequence patterns, with support-set closures
 // computed by weighted-LCS folding. See internal/seq for the full design
-// discussion.
+// discussion. The engine-integrated form is the "seqfusion" registry
+// algorithm (MineWith(ctx, SeqFusion, d, opts)), which mines a dataset's
+// attached ordered view — or its canonical transactions read as
+// ascending sequences — and reports the Δ quality estimate.
+
+// SeqFusion is the registry name of the engine-integrated sequence miner.
+const SeqFusion = seqfusion.Name
 
 // Sequence is an ordered list of event IDs.
 type Sequence = seq.Sequence
